@@ -1,0 +1,120 @@
+//! Floating-point motif count estimates produced by the sampling
+//! baselines (BTS, EWS), plus error metrics against exact counts.
+
+use hare::counters::MotifMatrix;
+use hare::motif::Motif;
+
+/// 6×6 grid of estimated (fractional) motif counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EstimateMatrix {
+    counts: [[f64; 6]; 6],
+}
+
+impl EstimateMatrix {
+    /// Estimated count of one motif.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, m: Motif) -> f64 {
+        self.counts[m.row() as usize - 1][m.col() as usize - 1]
+    }
+
+    /// Add weight to one motif's estimate.
+    #[inline]
+    pub fn add(&mut self, m: Motif, w: f64) {
+        self.counts[m.row() as usize - 1][m.col() as usize - 1] += w;
+    }
+
+    /// Element-wise sum (reduction of per-thread partials).
+    pub fn merge(&mut self, other: &EstimateMatrix) {
+        for r in 0..6 {
+            for c in 0..6 {
+                self.counts[r][c] += other.counts[r][c];
+            }
+        }
+    }
+
+    /// Sum over all motifs.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Iterate `(motif, estimate)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Motif, f64)> + '_ {
+        Motif::all().map(move |m| (m, self.get(m)))
+    }
+
+    /// Exact counts promoted to an estimate matrix.
+    #[must_use]
+    pub fn from_exact(exact: &MotifMatrix) -> EstimateMatrix {
+        let mut e = EstimateMatrix::default();
+        for (m, n) in exact.iter() {
+            e.add(m, n as f64);
+        }
+        e
+    }
+
+    /// Mean relative error against exact counts, over cells whose exact
+    /// count is non-zero (the error metric used in the sampling papers).
+    #[must_use]
+    pub fn mean_relative_error(&self, exact: &MotifMatrix) -> f64 {
+        let mut err = 0.0;
+        let mut cells = 0usize;
+        for (m, n) in exact.iter() {
+            if n > 0 {
+                err += (self.get(m) - n as f64).abs() / n as f64;
+                cells += 1;
+            }
+        }
+        if cells == 0 {
+            0.0
+        } else {
+            err / cells as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hare::motif::m;
+
+    #[test]
+    fn add_get_merge_total() {
+        let mut a = EstimateMatrix::default();
+        a.add(m(1, 1), 2.5);
+        let mut b = EstimateMatrix::default();
+        b.add(m(1, 1), 1.5);
+        b.add(m(6, 6), 1.0);
+        a.merge(&b);
+        assert!((a.get(m(1, 1)) - 4.0).abs() < 1e-12);
+        assert!((a.total() - 5.0).abs() < 1e-12);
+        assert_eq!(a.iter().count(), 36);
+    }
+
+    #[test]
+    fn exact_roundtrip_has_zero_error() {
+        let mut exact = MotifMatrix::default();
+        exact.add(m(2, 3), 10);
+        exact.add(m(5, 5), 4);
+        let est = EstimateMatrix::from_exact(&exact);
+        assert_eq!(est.mean_relative_error(&exact), 0.0);
+    }
+
+    #[test]
+    fn relative_error_averages_nonzero_cells() {
+        let mut exact = MotifMatrix::default();
+        exact.add(m(1, 1), 10);
+        exact.add(m(2, 2), 10);
+        let mut est = EstimateMatrix::from_exact(&exact);
+        est.add(m(1, 1), 5.0); // 50% off on one of two cells
+        assert!((est.mean_relative_error(&exact) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_exact_matrix_yields_zero_error() {
+        let exact = MotifMatrix::default();
+        let est = EstimateMatrix::default();
+        assert_eq!(est.mean_relative_error(&exact), 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # hare-baselines
+//!
+//! Every baseline algorithm the HARE paper (ICDE 2022) compares against,
+//! implemented from scratch on the shared [`temporal_graph`] substrate:
+//!
+//! | Module | Paper baseline | Kind |
+//! |---|---|---|
+//! | [`enumerate`] | (ground truth; "EX by subgraph enumeration" lineage) | exact oracle |
+//! | [`ex`] | EX — Paranjape, Benson & Leskovec, WSDM 2017 | exact |
+//! | [`bt`] | BT — Mackey et al., IEEE Big Data 2018 | exact, generic k-node l-edge |
+//! | [`two_scent`] | 2SCENT — Kumar & Calders, VLDB 2018 | exact, temporal cycles |
+//! | [`bts`] | BTS — Liu, Benson & Charikar, WSDM 2019 | sampling |
+//! | [`ews`] | EWS — Wang et al., CIKM 2020 | sampling |
+//!
+//! All exact baselines agree bit-for-bit with FAST/HARE on every tested
+//! workload (see the `fast_vs_baselines` integration suite); the sampling
+//! baselines are validated for approximate unbiasedness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bt;
+pub mod bts;
+pub mod enumerate;
+pub mod estimate;
+pub mod ews;
+pub mod ex;
+pub mod seq_counter;
+pub mod two_scent;
+
+pub use bt::{bt_count_all, bt_count_pairs, MotifPattern, PatternError};
+pub use bts::{bts_pair_estimate, bts_pair_estimate_parallel, BtsConfig};
+pub use enumerate::{classify, enumerate_all, enumerate_instances};
+pub use estimate::EstimateMatrix;
+pub use ews::{ews_estimate, ews_estimate_parallel, EwsConfig};
+pub use two_scent::{count_cycles, two_scent_census, two_scent_tri, CycleCensus};

@@ -1,0 +1,34 @@
+//! Criterion microbenchmark backing Table III's main comparison: FAST vs
+//! the exact baselines (EX, BT, raw enumeration) for full 36-motif
+//! counting on a CollegeMsg-scale workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn workload() -> (temporal_graph::TemporalGraph, i64) {
+    let spec = hare_datasets::by_name("CollegeMsg").unwrap();
+    (spec.generate(1), 600)
+}
+
+fn bench_full_counting(c: &mut Criterion) {
+    let (g, delta) = workload();
+    let mut group = c.benchmark_group("full_counting_collegemsg");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("FAST", delta), |b| {
+        b.iter(|| black_box(hare::count_motifs(&g, delta)))
+    });
+    group.bench_function(BenchmarkId::new("EX", delta), |b| {
+        b.iter(|| black_box(hare_baselines::ex::count_all(&g, delta)))
+    });
+    group.bench_function(BenchmarkId::new("BT", delta), |b| {
+        b.iter(|| black_box(hare_baselines::bt_count_all(&g, delta)))
+    });
+    group.bench_function(BenchmarkId::new("ENUM", delta), |b| {
+        b.iter(|| black_box(hare_baselines::enumerate_all(&g, delta)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_counting);
+criterion_main!(benches);

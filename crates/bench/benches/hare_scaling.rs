@@ -1,0 +1,35 @@
+//! Criterion microbenchmark backing Fig. 11's shape: HARE runtime as the
+//! thread count grows, against single-threaded FAST as the baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hare::{Hare, HareConfig};
+use std::hint::black_box;
+
+fn workload() -> (temporal_graph::TemporalGraph, i64) {
+    let spec = hare_datasets::by_name("SMS-A").unwrap();
+    (spec.generate(8), 600)
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let (g, delta) = workload();
+    let mut group = c.benchmark_group("hare_scaling_smsa");
+    group.sample_size(10);
+
+    group.bench_function("FAST(1 thread, no framework)", |b| {
+        b.iter(|| black_box(hare::count_motifs(&g, delta)))
+    });
+    let max = std::thread::available_parallelism().map_or(2, |n| n.get());
+    for threads in [1usize, 2, 4].into_iter().filter(|&t| t <= max.max(2)) {
+        let engine = Hare::new(HareConfig {
+            num_threads: threads,
+            ..HareConfig::default()
+        });
+        group.bench_function(BenchmarkId::new("HARE", threads), |b| {
+            b.iter(|| black_box(engine.count_all(&g, delta)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion microbenchmark backing Table III's pair-motif columns:
+//! FAST-Pair vs BT-Pair vs EX's 2-node counter vs BTS-Pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hare_baselines::bts::BtsConfig;
+use std::hint::black_box;
+
+fn workload() -> (temporal_graph::TemporalGraph, i64) {
+    // Messaging family → plenty of multi-edges → pair-motif rich.
+    let spec = hare_datasets::by_name("Email-Eu").unwrap();
+    (spec.generate(8), 600)
+}
+
+fn bench_pair_counting(c: &mut Criterion) {
+    let (g, delta) = workload();
+    let mut group = c.benchmark_group("pair_counting_emaileu");
+    group.sample_size(10);
+
+    group.bench_function("FAST-Pair", |b| {
+        b.iter(|| black_box(hare::count_pair_motifs(&g, delta)))
+    });
+    group.bench_function("EX-2node", |b| {
+        b.iter(|| black_box(hare_baselines::ex::count_pairs(&g, delta)))
+    });
+    group.bench_function("BT-Pair", |b| {
+        b.iter(|| black_box(hare_baselines::bt_count_pairs(&g, delta)))
+    });
+    group.bench_function("BTS-Pair", |b| {
+        b.iter(|| {
+            black_box(hare_baselines::bts_pair_estimate(
+                &g,
+                delta,
+                &BtsConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pair_counting);
+criterion_main!(benches);

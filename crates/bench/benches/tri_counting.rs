@@ -1,0 +1,30 @@
+//! Criterion microbenchmark backing Table III's triangle columns:
+//! FAST-Tri vs 2SCENT-Tri vs EX's static-triangle counter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn workload() -> (temporal_graph::TemporalGraph, i64) {
+    let spec = hare_datasets::by_name("Bitcoinotc").unwrap();
+    (spec.generate(1), 600)
+}
+
+fn bench_tri_counting(c: &mut Criterion) {
+    let (g, delta) = workload();
+    let mut group = c.benchmark_group("tri_counting_bitcoinotc");
+    group.sample_size(10);
+
+    group.bench_function("FAST-Tri", |b| {
+        b.iter(|| black_box(hare::count_triangle_motifs(&g, delta)))
+    });
+    group.bench_function("EX-Tri", |b| {
+        b.iter(|| black_box(hare_baselines::ex::count_triangles(&g, delta)))
+    });
+    group.bench_function("2SCENT-Tri", |b| {
+        b.iter(|| black_box(hare_baselines::two_scent_tri(&g, delta)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tri_counting);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Alternative implementations of FAST's design choices, used by the
+//! `ablations` criterion bench to quantify each choice called out in
+//! DESIGN.md:
+//!
+//! * [`fast_star_hashmap`] — Algorithm 1 with literal `HashMap`s for
+//!   `m_in`/`m_out` (the paper's pseudocode) instead of the stamped
+//!   scratch array.
+//! * [`fast_tri_linear`] — Algorithm 2 scanning each pair list from the
+//!   start instead of binary-searching the δ window (the paper's
+//!   "implementation trick" disabled, letting `ξ` grow to the full list
+//!   length).
+//!
+//! Both are exact (asserted by tests) — only their constants differ.
+
+use hare::counters::{PairCounter, StarCounter, TriCounter};
+use hare::motif::{StarType, TriType};
+use temporal_graph::util::FxHashMap;
+use temporal_graph::{Dir, NodeId, TemporalGraph, Timestamp};
+
+/// FAST-Star with per-iteration `HashMap` second-edge accounting
+/// (ablation of the stamped scratch array).
+#[must_use]
+pub fn fast_star_hashmap(g: &TemporalGraph, delta: Timestamp) -> (StarCounter, PairCounter) {
+    let mut star = StarCounter::default();
+    let mut pair = PairCounter::default();
+    let mut counts: FxHashMap<NodeId, [u64; 2]> = FxHashMap::default();
+    for u in g.node_ids() {
+        let s = g.node_events(u);
+        for i in 0..s.len() {
+            let e1 = s[i];
+            counts.clear();
+            let mut n = [0u64; 2];
+            for e3 in &s[i + 1..] {
+                if e3.t - e1.t > delta {
+                    break;
+                }
+                let (d1, d3) = (e1.dir, e3.dir);
+                if e3.other == e1.other {
+                    let cnt = counts.get(&e1.other).copied().unwrap_or_default();
+                    for d2 in Dir::BOTH {
+                        pair.add(d1, d2, d3, cnt[d2.index()]);
+                        star.add(StarType::II, d1, d2, d3, n[d2.index()] - cnt[d2.index()]);
+                    }
+                } else {
+                    let cw = counts.get(&e3.other).copied().unwrap_or_default();
+                    let cv = counts.get(&e1.other).copied().unwrap_or_default();
+                    for d2 in Dir::BOTH {
+                        star.add(StarType::I, d1, d2, d3, cw[d2.index()]);
+                        star.add(StarType::III, d1, d2, d3, cv[d2.index()]);
+                    }
+                }
+                counts.entry(e3.other).or_default()[e3.dir.index()] += 1;
+                n[e3.dir.index()] += 1;
+            }
+        }
+    }
+    (star, pair)
+}
+
+/// FAST-Tri scanning pair lists linearly from the beginning (ablation of
+/// the δ-window binary search).
+#[must_use]
+pub fn fast_tri_linear(g: &TemporalGraph, delta: Timestamp) -> TriCounter {
+    let mut tri = TriCounter::default();
+    for u in g.node_ids() {
+        let s = g.node_events(u);
+        for i in 0..s.len() {
+            let ei = s[i];
+            for ej in &s[i + 1..] {
+                if ej.t - ei.t > delta {
+                    break;
+                }
+                if ej.other == ei.other {
+                    continue;
+                }
+                let (v, w) = (ei.other, ej.other);
+                let v_is_lo = v < w;
+                for p in g.pair_events(v, w) {
+                    if p.t > ei.t + delta {
+                        break;
+                    }
+                    if p.t < ej.t - delta {
+                        continue; // linear skip instead of binary search
+                    }
+                    let dk = p.dir_from(v_is_lo);
+                    let ty = if (p.t, p.edge) < (ei.t, ei.edge) {
+                        TriType::I
+                    } else if (p.t, p.edge) < (ej.t, ej.edge) {
+                        TriType::II
+                    } else {
+                        TriType::III
+                    };
+                    tri.add(ty, ei.dir, ej.dir, dk, 1);
+                }
+            }
+        }
+    }
+    tri
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal_graph::gen::{erdos_renyi_temporal, GenConfig};
+
+    #[test]
+    fn hashmap_variant_is_exact() {
+        let g = erdos_renyi_temporal(30, 800, 2_000, 11);
+        let delta = 300;
+        let (star_a, pair_a) = fast_star_hashmap(&g, delta);
+        let (star_b, pair_b) = hare::fast_star::fast_star(&g, delta);
+        assert_eq!(star_a, star_b);
+        assert_eq!(pair_a, pair_b);
+    }
+
+    #[test]
+    fn linear_tri_variant_is_exact() {
+        let g = GenConfig {
+            nodes: 50,
+            edges: 1_500,
+            seed: 3,
+            ..GenConfig::default()
+        }
+        .generate();
+        let delta = 5_000;
+        assert_eq!(fast_tri_linear(&g, delta), hare::fast_tri::fast_tri(&g, delta));
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 11: running time of the parallel algorithms vs #threads.
+//!
+//! Two comparisons per dataset, as in the paper's panels:
+//! * HARE (all 36 motifs) vs parallel EX,
+//! * HARE-Pair vs BTS-Pair (parallel).
+//!
+//! The paper sweeps 1..32 threads on a 40-core box; sweep what your
+//! machine has with `--threads 1,2,4,...`. `thrd` follows the paper's
+//! §V.F default (min degree of the top-20 nodes).
+//!
+//! ```text
+//! cargo run --release -p hare-bench --bin exp_fig11 -- \
+//!     [--max-edges N] [--delta N] [--threads 1,2,4,8] [--datasets ...] [--json]
+//! ```
+
+use hare::{Hare, HareConfig};
+use hare_baselines::bts::BtsConfig;
+use hare_bench::{emit_json, human_secs, time, Args, Workloads};
+
+const DEFAULT_DATASETS: [&str; 12] = [
+    "StackOverflow",
+    "WikiTalk",
+    "MathOverflow",
+    "SuperUser",
+    "FBWall",
+    "AskUbuntu",
+    "SMS-A",
+    "Act-mooc",
+    "IA-online-ads",
+    "Rec-MovieLens",
+    "Soc-bitcoin",
+    "RedditComments",
+];
+
+fn main() {
+    let args = Args::parse();
+    let w = Workloads::from_args(&args, 150_000, 600);
+    let specs = w.datasets(&args, &DEFAULT_DATASETS);
+    let threads = args.get_list("threads", &[1usize, 2, 4, 8, 16, 32]);
+
+    println!(
+        "Fig. 11: parallel running time (seconds) vs #threads, delta = {}s",
+        w.delta
+    );
+
+    for spec in &specs {
+        let (g, scale) = w.generate(spec);
+        println!(
+            "\n{} (scale 1/{scale}: {} edges)",
+            spec.name,
+            g.num_edges()
+        );
+        println!(
+            "{:>8} | {:>10} {:>10} | {:>10} {:>10}",
+            "#threads", "HARE", "EX(par)", "HARE-Pair", "BTS-Pair"
+        );
+        let mut reference: Option<hare::MotifMatrix> = None;
+        for &n in &threads {
+            let engine = Hare::new(HareConfig {
+                num_threads: n,
+                ..HareConfig::default()
+            });
+            let (hare_counts, t_hare) = time(|| engine.count_all(&g, w.delta));
+            let (ex_counts, t_ex) = time(|| {
+                hare_baselines::ex::count_all_parallel(&g, w.delta, n)
+            });
+            assert_eq!(hare_counts.matrix, ex_counts);
+            match &reference {
+                Some(r) => assert_eq!(*r, hare_counts.matrix, "thread-count changed results"),
+                None => reference = Some(hare_counts.matrix),
+            }
+            let (_, t_hare_pair) = time(|| engine.count_pair(&g, w.delta));
+            let (_, t_bts) = time(|| {
+                hare_baselines::bts_pair_estimate_parallel(&g, w.delta, &BtsConfig::default(), n)
+            });
+            println!(
+                "{:>8} | {:>10} {:>10} | {:>10} {:>10}",
+                n,
+                human_secs(t_hare),
+                human_secs(t_ex),
+                human_secs(t_hare_pair),
+                human_secs(t_bts)
+            );
+            if w.json {
+                emit_json(&[
+                    ("experiment", "fig11".into()),
+                    ("dataset", spec.name.into()),
+                    ("scale", scale.into()),
+                    ("threads", n.into()),
+                    ("hare_s", t_hare.into()),
+                    ("ex_par_s", t_ex.into()),
+                    ("hare_pair_s", t_hare_pair.into()),
+                    ("bts_pair_s", t_bts.into()),
+                ]);
+            }
+        }
+    }
+    println!(
+        "\nnote: results are asserted identical across thread counts (HARE is deterministic)."
+    );
+}

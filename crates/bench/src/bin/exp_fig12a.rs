@@ -1,0 +1,62 @@
+//! Fig. 12(a): parameter sensitivity — running time vs time constraint δ.
+//!
+//! Sweeps δ ∈ {7200, 14400, 21600, 28800} seconds (the paper's 2h..8h
+//! range) on MathOverflow, AskUbuntu and SuperUser, comparing HARE with
+//! parallel EX at a fixed thread count.
+//!
+//! ```text
+//! cargo run --release -p hare-bench --bin exp_fig12a -- \
+//!     [--max-edges N] [--threads N] [--deltas 7200,14400,...] [--json]
+//! ```
+
+use hare::{Hare, HareConfig};
+use hare_bench::{emit_json, human_secs, time, Args, Workloads};
+
+const DEFAULT_DATASETS: [&str; 3] = ["MathOverflow", "AskUbuntu", "SuperUser"];
+
+fn main() {
+    let args = Args::parse();
+    let w = Workloads::from_args(&args, 150_000, 600);
+    let specs = w.datasets(&args, &DEFAULT_DATASETS);
+    let deltas = args.get_list("deltas", &[7_200i64, 14_400, 21_600, 28_800]);
+    let threads = args.get_num("threads", 32usize);
+
+    println!("Fig. 12(a): running time vs delta, #threads = {threads}");
+    for spec in &specs {
+        let (g, scale) = w.generate(spec);
+        println!(
+            "\n{} (scale 1/{scale}: {} edges)",
+            spec.name,
+            g.num_edges()
+        );
+        println!("{:>10} | {:>10} {:>10} {:>8}", "delta(s)", "HARE", "EX(par)", "ratio");
+        for &delta in &deltas {
+            let engine = Hare::new(HareConfig {
+                num_threads: threads,
+                ..HareConfig::default()
+            });
+            let (hare_counts, t_hare) = time(|| engine.count_all(&g, delta));
+            let (ex_counts, t_ex) = time(|| {
+                hare_baselines::ex::count_all_parallel(&g, delta, threads)
+            });
+            assert_eq!(hare_counts.matrix, ex_counts);
+            println!(
+                "{:>10} | {:>10} {:>10} {:>7.1}x",
+                delta,
+                human_secs(t_hare),
+                human_secs(t_ex),
+                t_ex / t_hare
+            );
+            if w.json {
+                emit_json(&[
+                    ("experiment", "fig12a".into()),
+                    ("dataset", spec.name.into()),
+                    ("delta", delta.into()),
+                    ("threads", threads.into()),
+                    ("hare_s", t_hare.into()),
+                    ("ex_par_s", t_ex.into()),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Fig. 12(b): parameter sensitivity — running time vs the degree
+//! threshold `thrd` of the hierarchical parallel framework.
+//!
+//! The paper sweeps absolute thresholds (10K..30K) on WikiTalk plus two
+//! ablations: `dynamic` (inter-node dynamic scheduling only, no
+//! intra-node parallelism) and `without thrd` (static scheduling only).
+//! Because the stand-in runs at a reduced scale, absolute thresholds are
+//! expressed here as the degree of the k-th largest node (`--topk`
+//! list); `--thrds` sets absolute values instead, matching the paper
+//! when run at full scale.
+//!
+//! ```text
+//! cargo run --release -p hare-bench --bin exp_fig12b -- \
+//!     [--max-edges N] [--delta N] [--threads 1,2,4] [--topk 5,10,20,50] [--json]
+//! ```
+
+use hare::{DegreeThreshold, Hare, HareConfig, Scheduling};
+use hare_bench::{emit_json, human_secs, time, Args, Workloads};
+
+fn main() {
+    let args = Args::parse();
+    let w = Workloads::from_args(&args, 300_000, 600);
+    let spec = hare_datasets::by_name("WikiTalk").unwrap();
+    let (g, scale) = w.generate(&spec);
+    let threads = args.get_list("threads", &[1usize, 2, 4, 8, 16, 32]);
+
+    // Threshold policies under test.
+    let mut policies: Vec<(String, DegreeThreshold, Scheduling)> = Vec::new();
+    if let Some(list) = args.get("thrds") {
+        for t in list.split(',').filter_map(|s| s.trim().parse::<usize>().ok()) {
+            policies.push((
+                format!("thrd={t}"),
+                DegreeThreshold::Fixed(t),
+                Scheduling::Dynamic,
+            ));
+        }
+    } else {
+        for k in args.get_list("topk", &[5usize, 10, 20, 50]) {
+            policies.push((
+                format!("thrd=top{k}"),
+                DegreeThreshold::TopK(k),
+                Scheduling::Dynamic,
+            ));
+        }
+    }
+    policies.push((
+        "dynamic".to_string(),
+        DegreeThreshold::Disabled,
+        Scheduling::Dynamic,
+    ));
+    policies.push((
+        "without thrd".to_string(),
+        DegreeThreshold::Disabled,
+        Scheduling::Static,
+    ));
+
+    println!(
+        "Fig. 12(b): WikiTalk stand-in (scale 1/{scale}: {} edges), delta = {}s",
+        g.num_edges(),
+        w.delta
+    );
+    print!("{:>8} |", "#threads");
+    for (name, _, _) in &policies {
+        print!(" {name:>13}");
+    }
+    println!();
+
+    let mut reference: Option<hare::MotifMatrix> = None;
+    for &n in &threads {
+        print!("{n:>8} |");
+        for (name, thrd, sched) in &policies {
+            let engine = Hare::new(HareConfig {
+                num_threads: n,
+                degree_threshold: *thrd,
+                scheduling: *sched,
+                ..HareConfig::default()
+            });
+            let (counts, secs) = time(|| engine.count_all(&g, w.delta));
+            match &reference {
+                Some(r) => assert_eq!(*r, counts.matrix, "policy changed results"),
+                None => reference = Some(counts.matrix),
+            }
+            print!(" {:>13}", human_secs(secs));
+            if w.json {
+                emit_json(&[
+                    ("experiment", "fig12b".into()),
+                    ("threads", n.into()),
+                    ("policy", name.as_str().into()),
+                    ("seconds", secs.into()),
+                ]);
+            }
+        }
+        println!();
+    }
+    println!("\nresolved top-k thresholds on this graph:");
+    for k in [5usize, 10, 20, 50] {
+        println!(
+            "  top{k:<3} -> degree {}",
+            temporal_graph::stats::default_degree_threshold(&g, k)
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-node motif participation profiles.
+//!
+//! The paper's introduction motivates motif counting with network
+//! representation learning: motif statistics "capture local high-order
+//! network structures" and feed node embeddings (refs 10–13 of the paper). This
+//! module exposes that use case directly: a 36-dimensional motif profile
+//! per node, computed with the same FAST kernels (and in parallel with
+//! the same guarantees as HARE).
+//!
+//! Attribution semantics (documented, deliberate):
+//! * **star** instances are attributed to their unique center node;
+//! * **pair** instances are attributed to both endpoints;
+//! * **triangle** instances are attributed to all three vertices (the
+//!   raw per-center view of FAST-Tri, without the global ÷3 fold).
+//!
+//! Summing profile column `M` over all nodes therefore yields
+//! `1×` (stars), `2×` (pairs) or `3×` (triangles) the global count —
+//! an invariant the tests pin down.
+
+use rayon::prelude::*;
+
+use crate::counters::{MotifMatrix, PairCounter, StarCounter, TriCounter};
+use crate::fast_star::count_node_star_pair;
+use crate::fast_tri::count_node_tri;
+use crate::motif::{Motif, MotifCategory};
+use crate::scratch::NeighborScratch;
+use temporal_graph::{NodeId, TemporalGraph, Timestamp};
+
+/// A node's 36-dimensional motif participation profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeProfile {
+    counts: [u64; 36],
+}
+
+impl Default for NodeProfile {
+    fn default() -> Self {
+        NodeProfile { counts: [0; 36] }
+    }
+}
+
+impl NodeProfile {
+    /// Participation count for one motif.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, m: Motif) -> u64 {
+        self.counts[(m.row() as usize - 1) * 6 + (m.col() as usize - 1)]
+    }
+
+    /// Total participation across all motifs.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The profile as an ordered 36-vector (row-major over the grid) —
+    /// the feature vector used by embedding pipelines.
+    #[must_use]
+    pub fn as_vector(&self) -> [u64; 36] {
+        self.counts
+    }
+
+    /// L1-normalised feature vector (graphs of different sizes become
+    /// comparable).
+    #[must_use]
+    pub fn normalised(&self) -> [f64; 36] {
+        let total = self.total().max(1) as f64;
+        let mut out = [0.0; 36];
+        for (o, &c) in out.iter_mut().zip(self.counts.iter()) {
+            *o = c as f64 / total;
+        }
+        out
+    }
+
+    fn absorb(&mut self, mx: &MotifMatrix) {
+        for (m, n) in mx.iter() {
+            self.counts[(m.row() as usize - 1) * 6 + (m.col() as usize - 1)] += n;
+        }
+    }
+}
+
+/// Compute the motif profile of every node. `num_threads = 0` uses all
+/// cores. Memory: 288 bytes per node.
+#[must_use]
+pub fn node_profiles(g: &TemporalGraph, delta: Timestamp, num_threads: usize) -> Vec<NodeProfile> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(num_threads)
+        .build()
+        .expect("rayon pool");
+    let nodes: Vec<NodeId> = g.node_ids().collect();
+    pool.install(|| {
+        nodes
+            .par_chunks(256)
+            .map(|chunk| {
+                let mut scratch = NeighborScratch::new(g.num_nodes());
+                chunk
+                    .iter()
+                    .map(|&u| profile_of(g, u, delta, &mut scratch))
+                    .collect::<Vec<_>>()
+            })
+            .flatten()
+            .collect()
+    })
+}
+
+/// Compute one node's profile (sequential; `scratch` sized to the graph).
+#[must_use]
+pub fn profile_of(
+    g: &TemporalGraph,
+    u: NodeId,
+    delta: Timestamp,
+    scratch: &mut NeighborScratch,
+) -> NodeProfile {
+    let mut star = StarCounter::default();
+    let mut pair = PairCounter::default();
+    let mut tri = TriCounter::default();
+    count_node_star_pair(g, u, delta, scratch, &mut star, &mut pair);
+    count_node_tri(g, u, delta, &mut tri);
+
+    let mut profile = NodeProfile::default();
+    let mut mx = MotifMatrix::default();
+    star.add_to_matrix(&mut mx);
+    profile.absorb(&mx);
+
+    // Pairs: attribute this endpoint's view directly (no mirror halving —
+    // the other endpoint gets its own attribution).
+    let mut mx = MotifMatrix::default();
+    pair.add_to_matrix_pair_based(&mut mx);
+    profile.absorb(&mx);
+
+    // Triangles: raw per-center attribution (no ÷3).
+    let mut mx = MotifMatrix::default();
+    for (ty, di, dj, dk, n) in tri.iter() {
+        mx.add(crate::motif::tri_motif(ty, di, dj, dk), n);
+    }
+    profile.absorb(&mx);
+    profile
+}
+
+/// Sum of all profiles, expressed per category multiplicity — used to
+/// reconcile profiles with the global grid (stars 1×, pairs 2×,
+/// triangles 3×).
+#[must_use]
+pub fn profile_sum(profiles: &[NodeProfile]) -> NodeProfile {
+    let mut out = NodeProfile::default();
+    for p in profiles {
+        for (o, &c) in out.counts.iter_mut().zip(p.counts.iter()) {
+            *o += c;
+        }
+    }
+    out
+}
+
+/// Multiplicity of a motif's attribution (how many nodes own each
+/// instance in the profile view).
+#[must_use]
+pub fn attribution_multiplicity(m: Motif) -> u64 {
+    match m.category() {
+        MotifCategory::Star => 1,
+        MotifCategory::Pair => 2,
+        MotifCategory::Triangle => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal_graph::gen::{erdos_renyi_temporal, paper_fig1_toy};
+
+    #[test]
+    fn profiles_reconcile_with_global_counts() {
+        let g = erdos_renyi_temporal(20, 400, 600, 9);
+        let delta = 150;
+        let profiles = node_profiles(&g, delta, 2);
+        assert_eq!(profiles.len(), g.num_nodes());
+        let sum = profile_sum(&profiles);
+        let global = crate::count_motifs(&g, delta);
+        for m in Motif::all() {
+            assert_eq!(
+                sum.get(m),
+                global.get(m) * attribution_multiplicity(m),
+                "{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn toy_graph_center_attribution() {
+        // Node v_a is the center of the M63 instance named in §III.
+        let g = paper_fig1_toy();
+        let profiles = node_profiles(&g, 10, 1);
+        assert!(profiles[0].get(crate::motif::m(6, 3)) >= 1);
+        // The M65 pair instance is attributed to both v_d and v_e.
+        assert_eq!(profiles[3].get(crate::motif::m(6, 5)), 1);
+        assert_eq!(profiles[4].get(crate::motif::m(6, 5)), 1);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_profiles() {
+        let g = erdos_renyi_temporal(15, 300, 400, 2);
+        let a = node_profiles(&g, 100, 1);
+        let b = node_profiles(&g, 100, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normalised_vectors_sum_to_one() {
+        let g = paper_fig1_toy();
+        let profiles = node_profiles(&g, 10, 1);
+        for p in &profiles {
+            if p.total() > 0 {
+                let s: f64 = p.normalised().iter().sum();
+                assert!((s - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_profiles() {
+        let g = temporal_graph::TemporalGraph::from_edges(vec![]);
+        assert!(node_profiles(&g, 10, 2).is_empty());
+    }
+}

@@ -1,0 +1,456 @@
+//! HARE: the hierarchical parallel framework of §IV.C.
+//!
+//! FAST converts motif counting into an embarrassingly parallel problem —
+//! different center nodes share no mutable state — but naive node-level
+//! parallelism founders on the long-tailed degree distribution of real
+//! temporal graphs: a handful of hub nodes carry most of the total work
+//! (Fig. 9). HARE therefore combines two strategies:
+//!
+//! * **inter-node parallel** — nodes with degree ≤ `thrd` are distributed
+//!   across threads in small chunks with work stealing (the rayon
+//!   equivalent of OpenMP `schedule(dynamic)`);
+//! * **intra-node parallel** — for each node with degree > `thrd`, the
+//!   first-edge loop of Algorithms 1 and 2 is itself split across threads,
+//!   each thread accumulating into a private counter that is reduced at
+//!   the end (the rayon equivalent of OpenMP `reduction`).
+//!
+//! The default `thrd` follows the paper's §V.F setting: the minimum degree
+//! among the top-20 nodes. Counter addition is commutative and
+//! associative, so results are **bit-identical** across thread counts and
+//! schedules — asserted by the integration tests.
+
+use rayon::prelude::*;
+
+use crate::counters::{MotifCounts, PairCounter, StarCounter, TriCounter};
+use crate::fast_pair::count_pair_events;
+use crate::fast_star::count_node_star_pair_range;
+use crate::fast_tri::count_node_tri_range;
+use crate::scratch::NeighborScratch;
+use temporal_graph::{stats, NodeId, TemporalGraph, Timestamp};
+
+/// How HARE decides which nodes get intra-node parallel treatment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegreeThreshold {
+    /// `thrd` = minimum degree among the `k` highest-degree nodes
+    /// (paper default: `TopK(20)`).
+    TopK(usize),
+    /// Fixed absolute threshold (Fig. 12b sweeps this).
+    Fixed(usize),
+    /// Disable intra-node parallelism entirely ("without thrd").
+    Disabled,
+}
+
+/// Chunking discipline for the inter-node phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Many small chunks + work stealing (≈ OpenMP `schedule(dynamic)`).
+    Dynamic,
+    /// One contiguous chunk per thread (≈ OpenMP default static
+    /// schedule). Used as the "without thrd" baseline in Fig. 12b.
+    Static,
+}
+
+/// Configuration of the HARE framework.
+#[derive(Debug, Clone)]
+pub struct HareConfig {
+    /// Worker threads; `0` uses all available cores.
+    pub num_threads: usize,
+    /// Degree threshold policy for intra-node parallelism.
+    pub degree_threshold: DegreeThreshold,
+    /// Inter-node chunking discipline.
+    pub scheduling: Scheduling,
+    /// Minimum nodes per inter-node task under dynamic scheduling.
+    pub min_task_nodes: usize,
+    /// Minimum first-edge positions per intra-node task.
+    pub min_task_events: usize,
+}
+
+impl Default for HareConfig {
+    fn default() -> Self {
+        HareConfig {
+            num_threads: 0,
+            degree_threshold: DegreeThreshold::TopK(20),
+            scheduling: Scheduling::Dynamic,
+            min_task_nodes: 128,
+            min_task_events: 512,
+        }
+    }
+}
+
+/// The HARE counting engine. Construct once, run any number of counts.
+///
+/// ```
+/// use hare::{Hare, HareConfig};
+/// use temporal_graph::gen::paper_fig1_toy;
+///
+/// let engine = Hare::with_threads(2);
+/// let counts = engine.count_all(&paper_fig1_toy(), 10);
+/// assert_eq!(counts.get(hare::motif::m(6, 5)), 1); // the M65 instance
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Hare {
+    cfg: HareConfig,
+}
+
+impl Hare {
+    /// Engine with an explicit configuration.
+    #[must_use]
+    pub fn new(cfg: HareConfig) -> Hare {
+        Hare { cfg }
+    }
+
+    /// Engine with default policies and a fixed thread count.
+    #[must_use]
+    pub fn with_threads(num_threads: usize) -> Hare {
+        Hare::new(HareConfig {
+            num_threads,
+            ..HareConfig::default()
+        })
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &HareConfig {
+        &self.cfg
+    }
+
+    fn pool(&self) -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(self.cfg.num_threads)
+            .build()
+            .expect("failed to build rayon thread pool")
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.cfg.num_threads > 0 {
+            self.cfg.num_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
+    /// Resolve the degree threshold for a concrete graph. Returns
+    /// `usize::MAX` when intra-node parallelism is disabled.
+    #[must_use]
+    pub fn resolve_threshold(&self, g: &TemporalGraph) -> usize {
+        match self.cfg.degree_threshold {
+            DegreeThreshold::TopK(k) => stats::default_degree_threshold(g, k),
+            DegreeThreshold::Fixed(t) => t,
+            DegreeThreshold::Disabled => usize::MAX,
+        }
+    }
+
+    fn inter_chunk(&self, items: usize) -> usize {
+        let threads = self.effective_threads();
+        match self.cfg.scheduling {
+            Scheduling::Dynamic => (items / (threads * 8)).max(self.cfg.min_task_nodes).max(1),
+            Scheduling::Static => items.div_ceil(threads).max(1),
+        }
+    }
+
+    fn intra_ranges(&self, len: usize) -> Vec<std::ops::Range<usize>> {
+        let threads = self.effective_threads();
+        let chunk = (len / (threads * 4)).max(self.cfg.min_task_events).max(1);
+        (0..len)
+            .step_by(chunk)
+            .map(|start| start..(start + chunk).min(len))
+            .collect()
+    }
+
+    /// Count all 36 motifs (FAST-Star + FAST-Tri under the hierarchical
+    /// schedule) and fold into the canonical grid.
+    #[must_use]
+    pub fn count_all(&self, g: &TemporalGraph, delta: Timestamp) -> MotifCounts {
+        let (star, pair, tri) = self.run(g, delta, Work::All);
+        MotifCounts::from_center_counters(star, pair, tri)
+    }
+
+    /// Count star and pair motifs only (parallel FAST-Star).
+    #[must_use]
+    pub fn count_star_pair(&self, g: &TemporalGraph, delta: Timestamp) -> (StarCounter, PairCounter) {
+        let (star, pair, _) = self.run(g, delta, Work::StarPair);
+        (star, pair)
+    }
+
+    /// Count triangle motifs only (parallel FAST-Tri). The counter holds
+    /// each instance three times; fold with
+    /// [`TriCounter::add_to_matrix`].
+    #[must_use]
+    pub fn count_tri(&self, g: &TemporalGraph, delta: Timestamp) -> TriCounter {
+        let (_, _, tri) = self.run(g, delta, Work::Tri);
+        tri
+    }
+
+    /// Count pair motifs only (parallel FAST-Pair over pair slots; each
+    /// instance counted once — fold with
+    /// [`PairCounter::add_to_matrix_pair_based`]).
+    #[must_use]
+    pub fn count_pair(&self, g: &TemporalGraph, delta: Timestamp) -> PairCounter {
+        let pairs = g.pairs();
+        let slots: Vec<usize> = (0..pairs.num_pairs()).collect();
+        if slots.is_empty() {
+            return PairCounter::default();
+        }
+        let chunk = self.inter_chunk(slots.len());
+        self.pool().install(|| {
+            slots
+                .par_chunks(chunk)
+                .map(|chunk| {
+                    let mut pc = PairCounter::default();
+                    for &slot in chunk {
+                        count_pair_events(pairs.events_of_slot(slot), delta, &mut pc);
+                    }
+                    pc
+                })
+                .reduce(PairCounter::default, |mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+        })
+    }
+
+    fn run(
+        &self,
+        g: &TemporalGraph,
+        delta: Timestamp,
+        work: Work,
+    ) -> (StarCounter, PairCounter, TriCounter) {
+        let thrd = self.resolve_threshold(g);
+        let mut light: Vec<NodeId> = Vec::new();
+        let mut heavy: Vec<NodeId> = Vec::new();
+        for u in g.node_ids() {
+            if g.degree(u) > thrd {
+                heavy.push(u);
+            } else {
+                light.push(u);
+            }
+        }
+
+        let pool = self.pool();
+        pool.install(|| {
+            // Phase 1: inter-node parallelism over the light nodes.
+            let chunk = self.inter_chunk(light.len().max(1));
+            let mut acc = light
+                .par_chunks(chunk)
+                .map(|nodes| {
+                    let mut partial = Partial::new(g.num_nodes(), work);
+                    for &u in nodes {
+                        partial.count_node(g, u, 0..g.node_events(u).len(), delta);
+                    }
+                    partial
+                })
+                .reduce(|| Partial::new(0, work), Partial::merge);
+
+            // Phase 2: intra-node parallelism, one heavy node at a time.
+            for &u in &heavy {
+                let len = g.node_events(u).len();
+                let ranges = self.intra_ranges(len);
+                let heavy_acc = ranges
+                    .into_par_iter()
+                    .map(|range| {
+                        let mut partial = Partial::new(g.num_nodes(), work);
+                        partial.count_node(g, u, range, delta);
+                        partial
+                    })
+                    .reduce(|| Partial::new(0, work), Partial::merge);
+                acc = Partial::merge(acc, heavy_acc);
+            }
+
+            (acc.star, acc.pair, acc.tri)
+        })
+    }
+}
+
+/// Which counters a run must populate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Work {
+    All,
+    StarPair,
+    Tri,
+}
+
+/// Per-task accumulator: private counters plus (lazily created) scratch.
+struct Partial {
+    star: StarCounter,
+    pair: PairCounter,
+    tri: TriCounter,
+    scratch: Option<NeighborScratch>,
+    num_nodes: usize,
+    work: Work,
+}
+
+impl Partial {
+    fn new(num_nodes: usize, work: Work) -> Partial {
+        Partial {
+            star: StarCounter::default(),
+            pair: PairCounter::default(),
+            tri: TriCounter::default(),
+            scratch: None,
+            num_nodes,
+            work,
+        }
+    }
+
+    fn count_node(
+        &mut self,
+        g: &TemporalGraph,
+        u: NodeId,
+        range: std::ops::Range<usize>,
+        delta: Timestamp,
+    ) {
+        if matches!(self.work, Work::All | Work::StarPair) {
+            let scratch = self
+                .scratch
+                .get_or_insert_with(|| NeighborScratch::new(self.num_nodes));
+            count_node_star_pair_range(
+                g,
+                u,
+                range.clone(),
+                delta,
+                scratch,
+                &mut self.star,
+                &mut self.pair,
+            );
+        }
+        if matches!(self.work, Work::All | Work::Tri) {
+            count_node_tri_range(g, u, range, delta, &mut self.tri);
+        }
+    }
+
+    fn merge(mut a: Partial, b: Partial) -> Partial {
+        a.star.merge(&b.star);
+        a.pair.merge(&b.pair);
+        a.tri.merge(&b.tri);
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fast_pair::fast_pair;
+    use crate::fast_star::fast_star;
+    use crate::fast_tri::fast_tri;
+    use temporal_graph::gen::{erdos_renyi_temporal, hub_burst, paper_fig1_toy, GenConfig};
+
+    fn engines() -> Vec<Hare> {
+        vec![
+            Hare::with_threads(1),
+            Hare::with_threads(2),
+            Hare::with_threads(4),
+            Hare::new(HareConfig {
+                num_threads: 3,
+                degree_threshold: DegreeThreshold::Fixed(5),
+                min_task_nodes: 1,
+                min_task_events: 4,
+                ..HareConfig::default()
+            }),
+            Hare::new(HareConfig {
+                num_threads: 2,
+                degree_threshold: DegreeThreshold::Disabled,
+                scheduling: Scheduling::Static,
+                ..HareConfig::default()
+            }),
+        ]
+    }
+
+    #[test]
+    fn all_configs_match_sequential_on_random_graph() {
+        let g = erdos_renyi_temporal(30, 600, 500, 13);
+        let delta = 80;
+        let (star_seq, pair_seq) = fast_star(&g, delta);
+        let tri_seq = fast_tri(&g, delta);
+        for engine in engines() {
+            let (star, pair) = engine.count_star_pair(&g, delta);
+            assert_eq!(star, star_seq, "{:?}", engine.config());
+            assert_eq!(pair, pair_seq, "{:?}", engine.config());
+            let tri = engine.count_tri(&g, delta);
+            assert_eq!(tri, tri_seq, "{:?}", engine.config());
+        }
+    }
+
+    #[test]
+    fn count_all_matches_sequential_on_skewed_graph() {
+        let g = GenConfig {
+            nodes: 150,
+            edges: 4_000,
+            zipf_exponent: 1.1,
+            seed: 99,
+            ..GenConfig::default()
+        }
+        .generate();
+        let delta = 50_000;
+        let (star, pair) = fast_star(&g, delta);
+        let tri = fast_tri(&g, delta);
+        let seq = MotifCounts::from_center_counters(star, pair, tri);
+        for engine in engines() {
+            let par = engine.count_all(&g, delta);
+            assert_eq!(par.matrix, seq.matrix, "{:?}", engine.config());
+        }
+    }
+
+    #[test]
+    fn intra_node_path_exercised_by_hub_graph() {
+        let g = hub_burst(50, 3_000, 20_000, 5);
+        let delta = 2_000;
+        // Force the hub through the intra-node path.
+        let engine = Hare::new(HareConfig {
+            num_threads: 4,
+            degree_threshold: DegreeThreshold::Fixed(100),
+            min_task_events: 16,
+            ..HareConfig::default()
+        });
+        assert!(g.degree(0) > 100, "hub must exceed threshold");
+        let (star, pair) = fast_star(&g, delta);
+        let tri = fast_tri(&g, delta);
+        let seq = MotifCounts::from_center_counters(star, pair, tri);
+        assert_eq!(engine.count_all(&g, delta).matrix, seq.matrix);
+    }
+
+    #[test]
+    fn parallel_pair_matches_sequential() {
+        let g = erdos_renyi_temporal(10, 800, 400, 21);
+        let delta = 100;
+        let seq = fast_pair(&g, delta);
+        for engine in engines() {
+            assert_eq!(engine.count_pair(&g, delta), seq);
+        }
+    }
+
+    #[test]
+    fn toy_graph_end_to_end() {
+        let g = paper_fig1_toy();
+        let counts = Hare::with_threads(2).count_all(&g, 10);
+        assert_eq!(counts.get(crate::motif::m(6, 5)), 1);
+    }
+
+    #[test]
+    fn threshold_resolution_policies() {
+        let g = hub_burst(20, 500, 5_000, 2);
+        let auto = Hare::new(HareConfig {
+            degree_threshold: DegreeThreshold::TopK(5),
+            ..HareConfig::default()
+        });
+        let t = auto.resolve_threshold(&g);
+        assert!(t >= 1 && t < g.degree(0));
+        let fixed = Hare::new(HareConfig {
+            degree_threshold: DegreeThreshold::Fixed(7),
+            ..HareConfig::default()
+        });
+        assert_eq!(fixed.resolve_threshold(&g), 7);
+        let off = Hare::new(HareConfig {
+            degree_threshold: DegreeThreshold::Disabled,
+            ..HareConfig::default()
+        });
+        assert_eq!(off.resolve_threshold(&g), usize::MAX);
+    }
+
+    #[test]
+    fn empty_graph_all_apis() {
+        let g = temporal_graph::TemporalGraph::from_edges(vec![]);
+        let engine = Hare::with_threads(2);
+        assert_eq!(engine.count_all(&g, 10).total(), 0);
+        assert_eq!(engine.count_pair(&g, 10).total(), 0);
+        assert_eq!(engine.count_tri(&g, 10).total(), 0);
+    }
+}

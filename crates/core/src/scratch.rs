@@ -1,0 +1,107 @@
+//! Reusable per-thread scratch state for FAST-Star.
+//!
+//! Algorithm 1 keeps two HashMaps (`m_in`, `m_out`) that are re-initialised
+//! for every first-edge position. Allocating/clearing maps in the inner
+//! loop dominates run time on large graphs, so we use the classic *stamped
+//! array* trick: one flat array indexed by neighbour id, with a generation
+//! stamp marking which entries belong to the current iteration. Reset is
+//! O(1); lookups are a single indexed load.
+
+use temporal_graph::{Dir, NodeId};
+
+/// Stamped per-neighbour `(in, out)` counters, equivalent to the paper's
+/// `m_in`/`m_out` HashMaps but with O(1) reset.
+#[derive(Debug, Clone)]
+pub struct NeighborScratch {
+    stamp: u32,
+    marks: Vec<u32>,
+    counts: Vec<[u64; 2]>,
+}
+
+impl NeighborScratch {
+    /// Scratch able to index neighbours `0..num_nodes`.
+    #[must_use]
+    pub fn new(num_nodes: usize) -> NeighborScratch {
+        NeighborScratch {
+            stamp: 1,
+            marks: vec![0; num_nodes],
+            counts: vec![[0; 2]; num_nodes],
+        }
+    }
+
+    /// Forget all entries (O(1) amortised; on stamp wrap-around the mark
+    /// array is rezeroed).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.stamp = match self.stamp.checked_add(1) {
+            Some(s) => s,
+            None => {
+                self.marks.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Increment the count of `(v, dir)`.
+    #[inline]
+    pub fn add(&mut self, v: NodeId, dir: Dir) {
+        let i = v as usize;
+        if self.marks[i] != self.stamp {
+            self.marks[i] = self.stamp;
+            self.counts[i] = [0; 2];
+        }
+        self.counts[i][dir.index()] += 1;
+    }
+
+    /// Current `[out, in]` counts for neighbour `v`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, v: NodeId) -> [u64; 2] {
+        let i = v as usize;
+        if self.marks[i] == self.stamp {
+            self.counts[i]
+        } else {
+            [0; 2]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_per_direction() {
+        let mut s = NeighborScratch::new(4);
+        s.add(2, Dir::Out);
+        s.add(2, Dir::Out);
+        s.add(2, Dir::In);
+        assert_eq!(s.get(2), [2, 1]);
+        assert_eq!(s.get(3), [0, 0]);
+    }
+
+    #[test]
+    fn reset_clears_logically() {
+        let mut s = NeighborScratch::new(4);
+        s.add(1, Dir::In);
+        assert_eq!(s.get(1), [0, 1]);
+        s.reset();
+        assert_eq!(s.get(1), [0, 0]);
+        s.add(1, Dir::Out);
+        assert_eq!(s.get(1), [1, 0]);
+    }
+
+    #[test]
+    fn stamp_wraparound_is_safe() {
+        let mut s = NeighborScratch::new(2);
+        s.stamp = u32::MAX - 1;
+        s.add(0, Dir::Out);
+        s.reset(); // stamp = MAX
+        s.add(1, Dir::In);
+        s.reset(); // wraps: marks rezeroed, stamp = 1
+        assert_eq!(s.get(0), [0, 0]);
+        assert_eq!(s.get(1), [0, 0]);
+        s.add(0, Dir::In);
+        assert_eq!(s.get(0), [0, 1]);
+    }
+}

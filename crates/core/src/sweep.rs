@@ -1,0 +1,233 @@
+//! One-pass multi-δ counting.
+//!
+//! Parameter studies like the paper's Fig. 12(a) re-run the counter for
+//! every δ. FAST's structure admits something better: every counted
+//! contribution has a well-defined *span* (the time extent of the
+//! instances it represents), and a contribution belongs to the result
+//! for δ iff `span ≤ δ`. So one traversal at `max(δ)` can bucket each
+//! contribution into the smallest qualifying δ, and a prefix-merge over
+//! buckets yields the exact per-δ counters — K results for one pass.
+//!
+//! * FAST-Star: the contribution group at a (first, third)-edge pair
+//!   spans `t_j − t_i`; every middle edge lies inside that interval.
+//! * FAST-Tri: each opposite edge's span is `t_j − t_k`, `t_j − t_i` or
+//!   `t_k − t_i` for types I/II/III respectively.
+//!
+//! Exactness for every δ in the sweep is asserted against independent
+//! single-δ runs in the tests.
+
+use crate::counters::{MotifCounts, PairCounter, StarCounter, TriCounter};
+use crate::motif::{StarType, TriType};
+use crate::scratch::NeighborScratch;
+use temporal_graph::{Dir, TemporalGraph, Timestamp};
+
+/// Per-δ counter buckets plus the sorted δ grid.
+struct Buckets {
+    deltas: Vec<Timestamp>,
+    star: Vec<StarCounter>,
+    pair: Vec<PairCounter>,
+    tri: Vec<TriCounter>,
+}
+
+impl Buckets {
+    fn new(deltas: &[Timestamp]) -> Buckets {
+        let mut ds: Vec<Timestamp> = deltas.to_vec();
+        ds.sort_unstable();
+        ds.dedup();
+        let n = ds.len();
+        Buckets {
+            deltas: ds,
+            star: vec![StarCounter::default(); n],
+            pair: vec![PairCounter::default(); n],
+            tri: vec![TriCounter::default(); n],
+        }
+    }
+
+    /// Index of the smallest δ admitting `span`, or `None` if the span
+    /// exceeds every δ.
+    #[inline]
+    fn bucket(&self, span: Timestamp) -> Option<usize> {
+        let k = self.deltas.partition_point(|&d| d < span);
+        (k < self.deltas.len()).then_some(k)
+    }
+}
+
+/// Count all 36 motifs for every δ in `deltas` with a single traversal
+/// at `max(deltas)`. Returns `(δ, counts)` pairs sorted by δ
+/// (duplicates collapsed). Equivalent to calling
+/// [`crate::count_motifs`] once per δ.
+#[must_use]
+pub fn count_motifs_sweep(
+    g: &TemporalGraph,
+    deltas: &[Timestamp],
+) -> Vec<(Timestamp, MotifCounts)> {
+    if deltas.is_empty() {
+        return Vec::new();
+    }
+    let mut buckets = Buckets::new(deltas);
+    let max_delta = *buckets.deltas.last().expect("non-empty");
+    let mut scratch = NeighborScratch::new(g.num_nodes());
+
+    for u in g.node_ids() {
+        let s = g.node_events(u);
+
+        // FAST-Star sweep: bucket each (e1, e3) contribution group.
+        for i in 0..s.len() {
+            let e1 = s[i];
+            scratch.reset();
+            let mut n = [0u64; 2];
+            for e3 in &s[i + 1..] {
+                let span = e3.t - e1.t;
+                if span > max_delta {
+                    break;
+                }
+                if let Some(k) = buckets.bucket(span) {
+                    let (d1, d3) = (e1.dir, e3.dir);
+                    if e3.other == e1.other {
+                        let cnt = scratch.get(e1.other);
+                        for d2 in Dir::BOTH {
+                            let c = cnt[d2.index()];
+                            buckets.pair[k].add(d1, d2, d3, c);
+                            buckets.star[k].add(StarType::II, d1, d2, d3, n[d2.index()] - c);
+                        }
+                    } else {
+                        let cw = scratch.get(e3.other);
+                        let cv = scratch.get(e1.other);
+                        for d2 in Dir::BOTH {
+                            buckets.star[k].add(StarType::I, d1, d2, d3, cw[d2.index()]);
+                            buckets.star[k].add(StarType::III, d1, d2, d3, cv[d2.index()]);
+                        }
+                    }
+                }
+                scratch.add(e3.other, e3.dir);
+                n[e3.dir.index()] += 1;
+            }
+        }
+
+        // FAST-Tri sweep: bucket each opposite-edge increment by the
+        // span of the instance it completes.
+        for i in 0..s.len() {
+            let ei = s[i];
+            for ej in &s[i + 1..] {
+                if ej.t - ei.t > max_delta {
+                    break;
+                }
+                if ej.other == ei.other {
+                    continue;
+                }
+                let (v, w) = (ei.other, ej.other);
+                let evs = g.pair_events(v, w);
+                if evs.is_empty() {
+                    continue;
+                }
+                let v_is_lo = v < w;
+                let start = evs.partition_point(|p| p.t < ej.t - max_delta);
+                for p in &evs[start..] {
+                    if p.t > ei.t + max_delta {
+                        break;
+                    }
+                    let dk = p.dir_from(v_is_lo);
+                    let (ty, span) = if (p.t, p.edge) < (ei.t, ei.edge) {
+                        (TriType::I, ej.t - p.t)
+                    } else if (p.t, p.edge) < (ej.t, ej.edge) {
+                        (TriType::II, ej.t - ei.t)
+                    } else {
+                        (TriType::III, p.t - ei.t)
+                    };
+                    if let Some(k) = buckets.bucket(span) {
+                        buckets.tri[k].add(ty, ei.dir, ej.dir, dk, 1);
+                    }
+                }
+            }
+        }
+    }
+
+    // Prefix-merge: counts for δ_k include every smaller bucket.
+    for k in 1..buckets.deltas.len() {
+        let (lo, hi) = buckets.star.split_at_mut(k);
+        hi[0].merge(&lo[k - 1]);
+        let (lo, hi) = buckets.pair.split_at_mut(k);
+        hi[0].merge(&lo[k - 1]);
+        let (lo, hi) = buckets.tri.split_at_mut(k);
+        hi[0].merge(&lo[k - 1]);
+    }
+
+    buckets
+        .deltas
+        .iter()
+        .enumerate()
+        .map(|(k, &d)| {
+            (
+                d,
+                MotifCounts::from_center_counters(
+                    buckets.star[k].clone(),
+                    buckets.pair[k].clone(),
+                    buckets.tri[k].clone(),
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal_graph::gen::{erdos_renyi_temporal, paper_fig1_toy, GenConfig};
+
+    #[test]
+    fn sweep_matches_individual_runs() {
+        let g = GenConfig {
+            nodes: 40,
+            edges: 900,
+            time_span: 10_000,
+            seed: 21,
+            ..GenConfig::default()
+        }
+        .generate();
+        let deltas = [0, 50, 300, 1_500, 10_000];
+        let sweep = count_motifs_sweep(&g, &deltas);
+        assert_eq!(sweep.len(), deltas.len());
+        for (delta, counts) in &sweep {
+            let single = crate::count_motifs(&g, *delta);
+            assert_eq!(counts.matrix, single.matrix, "delta={delta}");
+            assert_eq!(counts.star, single.star, "delta={delta}");
+            assert_eq!(counts.tri, single.tri, "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_deltas_are_normalised() {
+        let g = paper_fig1_toy();
+        let sweep = count_motifs_sweep(&g, &[20, 5, 20, 10]);
+        let ds: Vec<_> = sweep.iter().map(|(d, _)| *d).collect();
+        assert_eq!(ds, vec![5, 10, 20]);
+        for (delta, counts) in &sweep {
+            assert_eq!(counts.matrix, crate::count_motifs(&g, *delta).matrix);
+        }
+    }
+
+    #[test]
+    fn sweep_results_are_monotone() {
+        let g = erdos_renyi_temporal(15, 400, 600, 8);
+        let sweep = count_motifs_sweep(&g, &[10, 100, 400]);
+        for pair in sweep.windows(2) {
+            assert!(pair[0].1.total() <= pair[1].1.total());
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let g = paper_fig1_toy();
+        assert!(count_motifs_sweep(&g, &[]).is_empty());
+        let empty = temporal_graph::TemporalGraph::from_edges(vec![]);
+        let sweep = count_motifs_sweep(&empty, &[10]);
+        assert_eq!(sweep[0].1.total(), 0);
+    }
+
+    #[test]
+    fn single_delta_sweep_equals_plain_count() {
+        let g = erdos_renyi_temporal(20, 500, 400, 15);
+        let sweep = count_motifs_sweep(&g, &[120]);
+        assert_eq!(sweep[0].1.matrix, crate::count_motifs(&g, 120).matrix);
+    }
+}

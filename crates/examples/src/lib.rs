@@ -1,0 +1,3 @@
+//! Thin wiring package: hosts the runnable examples in `/examples` (see
+//! `[[example]]` entries in this crate's manifest). The crate itself
+//! exports nothing.

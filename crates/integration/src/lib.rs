@@ -1,0 +1,3 @@
+//! Thin wiring package: hosts the workspace-level integration tests in
+//! `/tests` (see `[[test]]` entries in this crate's manifest). The crate
+//! itself exports nothing.

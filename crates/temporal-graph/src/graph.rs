@@ -1,0 +1,479 @@
+//! The immutable [`TemporalGraph`] representation and its two indexes.
+//!
+//! Every counting algorithm in the paper is driven by one or both of:
+//!
+//! 1. **Node event sequences** `S_u` (§IV.A.3): for each node `u`, the
+//!    time-ordered list of edges incident to `u`, each seen as
+//!    `(t, other, dir)` relative to `u`. Stored as one CSR-style arena
+//!    (`node_offsets` + `events`) so a sequence is a contiguous slice.
+//! 2. **Pair edge lists** `E(v, w)` (§IV.B): for each unordered node pair,
+//!    the time-ordered list of edges between them (both directions).
+//!    FAST-Tri binary-searches these within the δ window, which is the
+//!    "implementation trick" the paper uses to bound `ξ` by `d^δ`.
+
+use crate::types::{Dir, EdgeId, NodeId, TemporalEdge, Timestamp};
+use crate::util::FxHashMap;
+
+/// One entry of a node's event sequence `S_u`: an incident edge viewed
+/// from the owning node (`e = (t, v, dir)` in the paper's notation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Timestamp of the underlying edge.
+    pub t: Timestamp,
+    /// The endpoint on the other side (`e.v`).
+    pub other: NodeId,
+    /// Global edge id (chronological rank; see crate docs).
+    pub edge: EdgeId,
+    /// Direction relative to the owning node (`e.dir`).
+    pub dir: Dir,
+}
+
+/// One entry of a pair edge list `E(v, w)`, stored relative to the
+/// *smaller* endpoint of the unordered pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairEvent {
+    /// Timestamp of the underlying edge.
+    pub t: Timestamp,
+    /// Global edge id (chronological rank).
+    pub edge: EdgeId,
+    /// Direction relative to the smaller endpoint: `Out` means
+    /// `lo -> hi`, `In` means `hi -> lo`.
+    pub dir_from_lo: Dir,
+}
+
+impl PairEvent {
+    /// Direction of this edge relative to the given endpoint.
+    ///
+    /// `endpoint_is_lo` must reflect whether the caller's reference node is
+    /// the smaller endpoint of the pair.
+    #[inline]
+    #[must_use]
+    pub fn dir_from(&self, endpoint_is_lo: bool) -> Dir {
+        if endpoint_is_lo {
+            self.dir_from_lo
+        } else {
+            self.dir_from_lo.flip()
+        }
+    }
+}
+
+/// Index over the unordered node pairs with at least one edge.
+///
+/// Layout mirrors CSR: `keys[i]` is the i-th pair `(lo, hi)`,
+/// `events[offsets[i]..offsets[i+1]]` its time-ordered edges. `slot_of`
+/// provides O(1) lookup from a pair to its slot.
+#[derive(Debug, Clone)]
+pub struct PairIndex {
+    keys: Box<[(NodeId, NodeId)]>,
+    offsets: Box<[usize]>,
+    events: Box<[PairEvent]>,
+    slot_of: FxHashMap<(NodeId, NodeId), u32>,
+}
+
+impl PairIndex {
+    pub(crate) fn build(edges: &[TemporalEdge]) -> PairIndex {
+        // Edges are already in chronological (id) order, so a stable sort
+        // by pair key keeps each pair's events time-ordered.
+        let mut tagged: Vec<((NodeId, NodeId), PairEvent)> = edges
+            .iter()
+            .enumerate()
+            .map(|(id, e)| {
+                let (lo, hi) = e.unordered_pair();
+                let dir_from_lo = if e.src == lo { Dir::Out } else { Dir::In };
+                (
+                    (lo, hi),
+                    PairEvent {
+                        t: e.t,
+                        edge: id as EdgeId,
+                        dir_from_lo,
+                    },
+                )
+            })
+            .collect();
+        tagged.sort_by_key(|&(key, ev)| (key, ev.edge));
+
+        let mut keys = Vec::new();
+        let mut offsets = Vec::with_capacity(tagged.len() / 2 + 2);
+        let mut events = Vec::with_capacity(tagged.len());
+        let mut slot_of = FxHashMap::default();
+        for (key, ev) in tagged {
+            if keys.last() != Some(&key) {
+                slot_of.insert(key, keys.len() as u32);
+                keys.push(key);
+                offsets.push(events.len());
+            }
+            events.push(ev);
+        }
+        offsets.push(events.len());
+
+        PairIndex {
+            keys: keys.into_boxed_slice(),
+            offsets: offsets.into_boxed_slice(),
+            events: events.into_boxed_slice(),
+            slot_of,
+        }
+    }
+
+    /// Number of distinct unordered pairs with at least one edge.
+    #[inline]
+    #[must_use]
+    pub fn num_pairs(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The `i`-th pair key `(lo, hi)`.
+    #[inline]
+    #[must_use]
+    pub fn key(&self, slot: usize) -> (NodeId, NodeId) {
+        self.keys[slot]
+    }
+
+    /// Time-ordered events of the `i`-th pair.
+    #[inline]
+    #[must_use]
+    pub fn events_of_slot(&self, slot: usize) -> &[PairEvent] {
+        &self.events[self.offsets[slot]..self.offsets[slot + 1]]
+    }
+
+    /// Time-ordered events between `a` and `b` (either order); empty slice
+    /// if the pair has no edges.
+    #[inline]
+    #[must_use]
+    pub fn events_between(&self, a: NodeId, b: NodeId) -> &[PairEvent] {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        match self.slot_of.get(&key) {
+            Some(&slot) => self.events_of_slot(slot as usize),
+            None => &[],
+        }
+    }
+}
+
+/// An immutable temporal graph, optimised for motif counting.
+///
+/// Construct with [`crate::GraphBuilder`] (or the
+/// [`TemporalGraph::from_edges`] shortcut). Nodes are `0..num_nodes`; edge
+/// ids are chronological ranks under the `(t, input_position)` total order.
+#[derive(Debug, Clone)]
+pub struct TemporalGraph {
+    num_nodes: usize,
+    edges: Box<[TemporalEdge]>,
+    node_offsets: Box<[usize]>,
+    events: Box<[Event]>,
+    pairs: PairIndex,
+}
+
+impl TemporalGraph {
+    /// Build from raw edges with default options (self-loops stripped,
+    /// node ids taken literally). See [`crate::GraphBuilder`] for control.
+    #[must_use]
+    pub fn from_edges(edges: Vec<TemporalEdge>) -> TemporalGraph {
+        let mut b = crate::GraphBuilder::new();
+        b.extend(edges);
+        b.build()
+    }
+
+    /// Internal constructor used by the builder. `edges` must be sorted by
+    /// `(t, original position)` and free of self-loops, and every endpoint
+    /// must be `< num_nodes`.
+    pub(crate) fn from_sorted_edges(num_nodes: usize, edges: Vec<TemporalEdge>) -> TemporalGraph {
+        assert!(
+            edges.len() <= u32::MAX as usize,
+            "edge count exceeds u32 id space"
+        );
+        debug_assert!(edges.windows(2).all(|w| w[0].t <= w[1].t));
+
+        // Per-node degree counting pass, then prefix sums, then a fill pass
+        // in edge-id order so each S_u comes out time-ordered.
+        let mut counts = vec![0usize; num_nodes + 1];
+        for e in &edges {
+            counts[e.src as usize + 1] += 1;
+            counts[e.dst as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let node_offsets = counts.clone().into_boxed_slice();
+
+        let mut events = vec![
+            Event {
+                t: 0,
+                other: 0,
+                edge: 0,
+                dir: Dir::Out
+            };
+            edges.len() * 2
+        ];
+        let mut cursors = counts;
+        for (id, e) in edges.iter().enumerate() {
+            let id = id as EdgeId;
+            let s = &mut cursors[e.src as usize];
+            events[*s] = Event {
+                t: e.t,
+                other: e.dst,
+                edge: id,
+                dir: Dir::Out,
+            };
+            *s += 1;
+            let d = &mut cursors[e.dst as usize];
+            events[*d] = Event {
+                t: e.t,
+                other: e.src,
+                edge: id,
+                dir: Dir::In,
+            };
+            *d += 1;
+        }
+
+        let pairs = PairIndex::build(&edges);
+
+        TemporalGraph {
+            num_nodes,
+            edges: edges.into_boxed_slice(),
+            node_offsets,
+            events: events.into_boxed_slice(),
+            pairs,
+        }
+    }
+
+    /// Number of nodes (`|V|`).
+    #[inline]
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of temporal edges (`|E|`).
+    #[inline]
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges in chronological order; the slice index is the edge id.
+    #[inline]
+    #[must_use]
+    pub fn edges(&self) -> &[TemporalEdge] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    #[must_use]
+    pub fn edge(&self, id: EdgeId) -> TemporalEdge {
+        self.edges[id as usize]
+    }
+
+    /// The time-ordered event sequence `S_u` of node `u`.
+    #[inline]
+    #[must_use]
+    pub fn node_events(&self, u: NodeId) -> &[Event] {
+        &self.events[self.node_offsets[u as usize]..self.node_offsets[u as usize + 1]]
+    }
+
+    /// Total degree of `u` (in-degree + out-degree, counting multi-edges) —
+    /// i.e. `|S_u|`, the paper's `d_i`.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.node_offsets[u as usize + 1] - self.node_offsets[u as usize]
+    }
+
+    /// The pair index over `E(v, w)` lists.
+    #[inline]
+    #[must_use]
+    pub fn pairs(&self) -> &PairIndex {
+        &self.pairs
+    }
+
+    /// Time-ordered edges between `a` and `b`, both directions.
+    #[inline]
+    #[must_use]
+    pub fn pair_events(&self, a: NodeId, b: NodeId) -> &[PairEvent] {
+        self.pairs.events_between(a, b)
+    }
+
+    /// Earliest timestamp, or `None` for an empty graph.
+    #[inline]
+    #[must_use]
+    pub fn min_time(&self) -> Option<Timestamp> {
+        self.edges.first().map(|e| e.t)
+    }
+
+    /// Latest timestamp, or `None` for an empty graph.
+    #[inline]
+    #[must_use]
+    pub fn max_time(&self) -> Option<Timestamp> {
+        self.edges.last().map(|e| e.t)
+    }
+
+    /// `max_time - min_time`, or 0 for graphs with < 2 edges.
+    #[inline]
+    #[must_use]
+    pub fn time_span(&self) -> Timestamp {
+        match (self.min_time(), self.max_time()) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0,
+        }
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes as NodeId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> TemporalGraph {
+        // Fig. 1 of the paper: a=0, b=1, c=2, d=3, e=4.
+        TemporalGraph::from_edges(vec![
+            TemporalEdge::new(4, 3, 1),
+            TemporalEdge::new(0, 2, 4),
+            TemporalEdge::new(4, 2, 6),
+            TemporalEdge::new(0, 2, 8),
+            TemporalEdge::new(3, 0, 9),
+            TemporalEdge::new(3, 2, 10),
+            TemporalEdge::new(0, 1, 11),
+            TemporalEdge::new(3, 4, 14),
+            TemporalEdge::new(0, 2, 15),
+            TemporalEdge::new(2, 3, 17),
+            TemporalEdge::new(4, 3, 18),
+            TemporalEdge::new(3, 4, 21),
+        ])
+    }
+
+    #[test]
+    fn toy_graph_shape() {
+        let g = toy();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.min_time(), Some(1));
+        assert_eq!(g.max_time(), Some(21));
+        assert_eq!(g.time_span(), 20);
+    }
+
+    #[test]
+    fn node_sequence_matches_paper_example() {
+        // §IV.A.3: S_a = <(4s,c,o),(8s,c,o),(9s,d,in),(11s,b,o),(15s,c,o)>
+        let g = toy();
+        let sa: Vec<_> = g
+            .node_events(0)
+            .iter()
+            .map(|e| (e.t, e.other, e.dir))
+            .collect();
+        assert_eq!(
+            sa,
+            vec![
+                (4, 2, Dir::Out),
+                (8, 2, Dir::Out),
+                (9, 3, Dir::In),
+                (11, 1, Dir::Out),
+                (15, 2, Dir::Out),
+            ]
+        );
+        // §IV.B.2: S_e = <(1s,d,o),(6s,c,o),(14s,d,in),(18s,d,o),(21s,d,in)>
+        let se: Vec<_> = g
+            .node_events(4)
+            .iter()
+            .map(|e| (e.t, e.other, e.dir))
+            .collect();
+        assert_eq!(
+            se,
+            vec![
+                (1, 3, Dir::Out),
+                (6, 2, Dir::Out),
+                (14, 3, Dir::In),
+                (18, 3, Dir::Out),
+                (21, 3, Dir::In),
+            ]
+        );
+    }
+
+    #[test]
+    fn sequences_are_time_ordered() {
+        let g = toy();
+        for u in g.node_ids() {
+            let s = g.node_events(u);
+            assert!(s.windows(2).all(|w| w[0].t <= w[1].t), "S_{u} unsorted");
+            assert!(s.windows(2).all(|w| w[0].edge < w[1].edge));
+        }
+    }
+
+    #[test]
+    fn degrees_sum_to_twice_edges() {
+        let g = toy();
+        let total: usize = g.node_ids().map(|u| g.degree(u)).sum();
+        assert_eq!(total, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn pair_index_matches_paper_example() {
+        // §IV.B.2: E(v_c, v_d) = {(v_d, v_c, 10s), (v_c, v_d, 17s)}
+        let g = toy();
+        let evs = g.pair_events(2, 3);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].t, 10);
+        assert_eq!(evs[0].dir_from_lo, Dir::In); // d -> c means hi -> lo
+        assert_eq!(evs[1].t, 17);
+        assert_eq!(evs[1].dir_from_lo, Dir::Out); // c -> d means lo -> hi
+        // Symmetric query.
+        assert_eq!(g.pair_events(3, 2), evs);
+        // Direction relative to each endpoint.
+        assert_eq!(evs[0].dir_from(true), Dir::In); // from c's view: inward
+        assert_eq!(evs[0].dir_from(false), Dir::Out); // from d's view: outward
+    }
+
+    #[test]
+    fn pair_index_empty_for_unconnected_pair() {
+        let g = toy();
+        assert!(g.pair_events(1, 4).is_empty());
+    }
+
+    #[test]
+    fn pair_events_time_ordered() {
+        let g = toy();
+        let p = g.pairs();
+        let mut seen = 0;
+        for slot in 0..p.num_pairs() {
+            let evs = p.events_of_slot(slot);
+            assert!(!evs.is_empty());
+            assert!(evs.windows(2).all(|w| w[0].edge < w[1].edge));
+            assert!(evs.windows(2).all(|w| w[0].t <= w[1].t));
+            seen += evs.len();
+        }
+        assert_eq!(seen, g.num_edges());
+    }
+
+    #[test]
+    fn edge_ids_are_chronological_ranks() {
+        let g = toy();
+        for (i, e) in g.edges().iter().enumerate() {
+            assert_eq!(g.edge(i as EdgeId), *e);
+        }
+        assert!(g.edges().windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TemporalGraph::from_edges(vec![]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.min_time(), None);
+        assert_eq!(g.time_span(), 0);
+        assert_eq!(g.pairs().num_pairs(), 0);
+    }
+
+    #[test]
+    fn timestamp_ties_keep_input_order() {
+        let g = TemporalGraph::from_edges(vec![
+            TemporalEdge::new(0, 1, 5),
+            TemporalEdge::new(1, 2, 5),
+            TemporalEdge::new(2, 0, 5),
+        ]);
+        assert_eq!(g.edge(0), TemporalEdge::new(0, 1, 5));
+        assert_eq!(g.edge(1), TemporalEdge::new(1, 2, 5));
+        assert_eq!(g.edge(2), TemporalEdge::new(2, 0, 5));
+    }
+}

@@ -1,0 +1,104 @@
+//! Anomaly detection with temporal motif fingerprints — one of the
+//! applications motivating the paper (§I).
+//!
+//! A communication network runs normally for 30 days; on day 20 a fraud
+//! ring starts "round-tripping" — rapid cyclic transfers a → b → c → a
+//! that are individually unremarkable but create a burst of cyclic
+//! triangle motifs (M26). We slide a one-day window over the stream,
+//! compute each window's 36-motif fingerprint with HARE, and flag windows
+//! whose fingerprint deviates from the trailing baseline.
+//!
+//! ```text
+//! cargo run --release -p hare-examples --example anomaly_detection
+//! ```
+
+use hare::{Hare, Motif};
+use temporal_graph::{GraphBuilder, TemporalGraph, Timestamp};
+
+const DAY: Timestamp = 86_400;
+const DAYS: i64 = 30;
+const ANOMALY_DAY: i64 = 20;
+
+/// Background traffic plus an injected fraud ring on `ANOMALY_DAY`.
+fn build_stream() -> TemporalGraph {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut b = GraphBuilder::new();
+    let users = 400u32;
+
+    // Normal traffic: conversations between random users, ~2k edges/day.
+    for day in 0..DAYS {
+        for _ in 0..2_000 {
+            let u = rng.gen_range(0..users);
+            let mut v = rng.gen_range(0..users);
+            while v == u {
+                v = rng.gen_range(0..users);
+            }
+            let t = day * DAY + rng.gen_range(0..DAY);
+            b.add_edge(u, v, t);
+            if rng.gen_bool(0.3) {
+                b.add_edge(v, u, t + rng.gen_range(1..600));
+            }
+        }
+    }
+
+    // The fraud ring: 3-node cycles completed within minutes, all day.
+    let ring = [17u32, 211, 342];
+    for k in 0..300 {
+        let t0 = ANOMALY_DAY * DAY + k * 250;
+        b.add_edge(ring[0], ring[1], t0);
+        b.add_edge(ring[1], ring[2], t0 + 60);
+        b.add_edge(ring[2], ring[0], t0 + 140);
+    }
+    b.build()
+}
+
+fn main() {
+    let delta = 600; // 10-minute motif window, as in the paper's tables
+    let graph = build_stream();
+    let engine = Hare::with_threads(0);
+    let m26 = Motif::new(2, 6);
+
+    println!("day | total 3-edge motifs | cyclic triangles (M26) | z-score | verdict");
+    println!("{:-<78}", "");
+
+    let edges = graph.edges();
+    let mut history: Vec<f64> = Vec::new();
+    for day in 0..DAYS {
+        // Slice the chronological edge array to this day's window.
+        let lo = edges.partition_point(|e| e.t < day * DAY);
+        let hi = edges.partition_point(|e| e.t < (day + 1) * DAY);
+        let mut b = GraphBuilder::with_capacity(hi - lo).compact_ids(true);
+        b.extend(edges[lo..hi].iter().copied());
+        let window = b.build();
+
+        let counts = engine.count_all(&window, delta);
+        let cycles = counts.get(m26) as f64;
+
+        // Trailing z-score against the history so far (needs >= 5 days).
+        let verdict = if history.len() >= 5 {
+            let mean = history.iter().sum::<f64>() / history.len() as f64;
+            let var = history
+                .iter()
+                .map(|x| (x - mean).powi(2))
+                .sum::<f64>()
+                / history.len() as f64;
+            let z = (cycles - mean) / var.sqrt().max(1.0);
+            let flag = if z > 4.0 { "<<< ANOMALY" } else { "" };
+            format!("{z:>7.2} | {flag}")
+        } else {
+            "   warm-up".to_string()
+        };
+        println!(
+            "{day:>3} | {:>19} | {:>22} | {verdict}",
+            counts.total(),
+            cycles as u64
+        );
+        history.push(cycles);
+    }
+
+    println!(
+        "\nThe ring on day {ANOMALY_DAY} is invisible in edge volume (~300 of ~5k edges)\n\
+         but lights up the M26 cell of the motif fingerprint."
+    );
+}

@@ -1,0 +1,73 @@
+//! Demonstration of the HARE hierarchical parallel framework (§IV.C):
+//! how thread count, the degree threshold `thrd` and the scheduling
+//! discipline affect wall-clock time on a hub-dominated graph.
+//!
+//! ```text
+//! cargo run --release -p hare-examples --example parallel_scaling
+//! ```
+
+use hare::{DegreeThreshold, Hare, HareConfig, Scheduling};
+use std::time::Instant;
+
+fn main() {
+    // A WikiTalk-style workload: a handful of hub nodes carry most of
+    // the work (cf. the paper's Fig. 9).
+    let spec = hare_datasets::by_name("WikiTalk").expect("registry");
+    let scale = 16;
+    let g = spec.generate(scale);
+    let delta = 600;
+    println!(
+        "WikiTalk stand-in at 1/{scale}: {} nodes, {} edges; delta = {delta}s",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    let top = temporal_graph::stats::top_k_degrees(&g, 5);
+    println!("top-5 degrees: {top:?} (default thrd = min of top-20)");
+
+    let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
+    println!("\n{:<34} {:>9} {:>9}", "configuration", "1 thread", format!("{cores} threads"));
+
+    let mut reference = None;
+    for (name, thrd, sched) in [
+        (
+            "hierarchical (paper default)",
+            DegreeThreshold::TopK(20),
+            Scheduling::Dynamic,
+        ),
+        (
+            "inter-node only (dynamic)",
+            DegreeThreshold::Disabled,
+            Scheduling::Dynamic,
+        ),
+        (
+            "inter-node only (static)",
+            DegreeThreshold::Disabled,
+            Scheduling::Static,
+        ),
+    ] {
+        print!("{name:<34}");
+        for threads in [1, cores] {
+            let engine = Hare::new(HareConfig {
+                num_threads: threads,
+                degree_threshold: thrd,
+                scheduling: sched,
+                ..HareConfig::default()
+            });
+            let start = Instant::now();
+            let counts = engine.count_all(&g, delta);
+            let secs = start.elapsed().as_secs_f64();
+            print!(" {:>8.2}s", secs);
+            // Every configuration must produce identical counts.
+            match &reference {
+                None => reference = Some(counts.matrix),
+                Some(r) => assert_eq!(*r, counts.matrix),
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "\nall configurations produce bit-identical counts; the hierarchical\n\
+         schedule wins when hubs would otherwise serialise the computation."
+    );
+}

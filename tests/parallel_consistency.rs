@@ -1,0 +1,125 @@
+//! HARE determinism and equivalence guarantees: every thread count,
+//! degree threshold and scheduling discipline must produce counts
+//! bit-identical to the sequential algorithms — the property that makes
+//! the framework "natively parallel" (§IV.C: no data dependency between
+//! threads).
+
+use hare::{DegreeThreshold, Hare, HareConfig, Scheduling};
+use temporal_graph::gen::{hub_burst, GenConfig};
+
+fn skewed_graph(seed: u64) -> temporal_graph::TemporalGraph {
+    GenConfig {
+        nodes: 120,
+        edges: 3_000,
+        time_span: 40_000,
+        zipf_exponent: 1.05,
+        seed,
+        ..GenConfig::default()
+    }
+    .generate()
+}
+
+#[test]
+fn thread_count_never_changes_results() {
+    let g = skewed_graph(1);
+    let delta = 2_000;
+    let reference = hare::count_motifs(&g, delta);
+    for threads in [1, 2, 3, 4, 8] {
+        let counts = Hare::with_threads(threads).count_all(&g, delta);
+        assert_eq!(counts.matrix, reference.matrix, "{threads} threads");
+        // Raw counters match too — merging is exact, not just the fold.
+        assert_eq!(counts.star, reference.star, "{threads} threads");
+        assert_eq!(counts.pair, reference.pair, "{threads} threads");
+        assert_eq!(counts.tri, reference.tri, "{threads} threads");
+    }
+}
+
+#[test]
+fn threshold_policy_never_changes_results() {
+    let g = hub_burst(60, 4_000, 50_000, 3);
+    let delta = 3_000;
+    let reference = hare::count_motifs(&g, delta);
+    for thrd in [
+        DegreeThreshold::TopK(1),
+        DegreeThreshold::TopK(20),
+        DegreeThreshold::Fixed(0), // every node goes intra-node
+        DegreeThreshold::Fixed(10),
+        DegreeThreshold::Fixed(usize::MAX),
+        DegreeThreshold::Disabled,
+    ] {
+        let engine = Hare::new(HareConfig {
+            num_threads: 4,
+            degree_threshold: thrd,
+            min_task_events: 8,
+            min_task_nodes: 4,
+            ..HareConfig::default()
+        });
+        assert_eq!(
+            engine.count_all(&g, delta).matrix,
+            reference.matrix,
+            "{thrd:?}"
+        );
+    }
+}
+
+#[test]
+fn scheduling_discipline_never_changes_results() {
+    let g = skewed_graph(2);
+    let delta = 1_000;
+    let reference = hare::count_motifs(&g, delta);
+    for sched in [Scheduling::Dynamic, Scheduling::Static] {
+        let engine = Hare::new(HareConfig {
+            num_threads: 3,
+            scheduling: sched,
+            ..HareConfig::default()
+        });
+        assert_eq!(engine.count_all(&g, delta).matrix, reference.matrix, "{sched:?}");
+    }
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let g = skewed_graph(3);
+    let engine = Hare::with_threads(4);
+    let first = engine.count_all(&g, 1_500);
+    for _ in 0..3 {
+        assert_eq!(engine.count_all(&g, 1_500).matrix, first.matrix);
+    }
+}
+
+#[test]
+fn parallel_pair_and_tri_match_sequential() {
+    let g = skewed_graph(4);
+    let delta = 1_000;
+    let engine = Hare::with_threads(4);
+    assert_eq!(
+        engine.count_pair(&g, delta),
+        hare::fast_pair::fast_pair(&g, delta)
+    );
+    assert_eq!(
+        engine.count_tri(&g, delta),
+        hare::fast_tri::fast_tri(&g, delta)
+    );
+}
+
+#[test]
+fn parallel_ex_and_sampling_baselines_are_thread_stable() {
+    let g = skewed_graph(5);
+    let delta = 1_000;
+    let ex1 = hare_baselines::ex::count_all_parallel(&g, delta, 1);
+    for threads in [2, 4] {
+        assert_eq!(
+            hare_baselines::ex::count_all_parallel(&g, delta, threads),
+            ex1
+        );
+    }
+    let cfg = hare_baselines::EwsConfig {
+        edge_prob: 0.5,
+        seed: 7,
+    };
+    let e1 = hare_baselines::ews_estimate_parallel(&g, delta, &cfg, 1);
+    let e4 = hare_baselines::ews_estimate_parallel(&g, delta, &cfg, 4);
+    for (a, b) in e1.iter().zip(e4.iter()) {
+        assert!((a.1 - b.1).abs() < 1e-9);
+    }
+}

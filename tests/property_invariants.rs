@@ -1,0 +1,137 @@
+//! Property-based tests (proptest) of the core counting invariants, over
+//! arbitrary small temporal graphs.
+
+use proptest::prelude::*;
+
+use hare::motif::{Motif, MotifCategory};
+use temporal_graph::{GraphBuilder, TemporalGraph};
+
+/// Arbitrary small temporal multigraph: up to `max_edges` edges over up
+/// to 8 nodes with timestamps in a narrow range (dense ties on purpose).
+fn graph_strategy(max_edges: usize) -> impl Strategy<Value = TemporalGraph> {
+    prop::collection::vec((0u32..8, 0u32..8, 0i64..60), 0..max_edges).prop_map(|triples| {
+        let mut b = GraphBuilder::new();
+        for (s, d, t) in triples {
+            b.add_edge(s, d, t); // self-loops silently dropped
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The central oracle property: FAST equals explicit enumeration on
+    /// every graph and δ.
+    #[test]
+    fn fast_matches_enumeration(g in graph_strategy(40), delta in 0i64..80) {
+        let fast = hare::count_motifs(&g, delta);
+        let oracle = hare_baselines::enumerate_all(&g, delta);
+        prop_assert_eq!(fast.matrix, oracle);
+    }
+
+    /// EX equals FAST on every graph and δ.
+    #[test]
+    fn ex_matches_fast(g in graph_strategy(40), delta in 0i64..80) {
+        let fast = hare::count_motifs(&g, delta);
+        let ex = hare_baselines::ex::count_all(&g, delta);
+        prop_assert_eq!(fast.matrix, ex);
+    }
+
+    /// HARE with any small thread count equals sequential FAST.
+    #[test]
+    fn hare_matches_fast(g in graph_strategy(40), delta in 0i64..80, threads in 1usize..4) {
+        let fast = hare::count_motifs(&g, delta);
+        let par = hare::Hare::with_threads(threads).count_all(&g, delta);
+        prop_assert_eq!(fast.matrix, par.matrix);
+    }
+
+    /// Total counts are monotone non-decreasing in δ.
+    #[test]
+    fn monotone_in_delta(g in graph_strategy(30), d1 in 0i64..40, d2 in 0i64..40) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let a = hare::count_motifs(&g, lo).total();
+        let b = hare::count_motifs(&g, hi).total();
+        prop_assert!(a <= b);
+    }
+
+    /// Relabelling nodes permutes nothing in the canonical grid.
+    #[test]
+    fn node_relabelling_invariance(g in graph_strategy(30), delta in 0i64..60, shift in 1u32..7) {
+        let n = g.num_nodes() as u32;
+        prop_assume!(n > 0);
+        let mut b = GraphBuilder::new();
+        for e in g.edges() {
+            b.add_edge((e.src + shift) % n.max(1), (e.dst + shift) % n.max(1), e.t);
+        }
+        let relabelled = b.build();
+        // Cyclic shifts can create self-loops ((src+s)%n == (dst+s)%n only
+        // if src==dst, which the builder already dropped) — safe.
+        let a = hare::count_motifs(&g, delta);
+        let c = hare::count_motifs(&relabelled, delta);
+        prop_assert_eq!(a.matrix, c.matrix);
+    }
+
+    /// Shifting all timestamps by a constant changes nothing.
+    #[test]
+    fn time_shift_invariance(g in graph_strategy(30), delta in 0i64..60, shift in -1000i64..1000) {
+        let mut b = GraphBuilder::new();
+        for e in g.edges() {
+            b.add_edge(e.src, e.dst, e.t + shift);
+        }
+        let shifted = b.build();
+        prop_assert_eq!(
+            hare::count_motifs(&g, delta).matrix,
+            hare::count_motifs(&shifted, delta).matrix
+        );
+    }
+
+    /// Raw FAST-Tri counters: the three isomorphic cells of each class
+    /// agree, and the total is divisible by 3.
+    #[test]
+    fn tri_counter_class_balance(g in graph_strategy(40), delta in 0i64..80) {
+        let tri = hare::fast_tri::fast_tri(&g, delta);
+        prop_assert!(tri.class_cells_balanced());
+        prop_assert_eq!(tri.total() % 3, 0);
+    }
+
+    /// Raw FAST-Star pair counters: mirror cells balance (each pair
+    /// instance is seen once from each endpoint).
+    #[test]
+    fn pair_counter_mirror_balance(g in graph_strategy(40), delta in 0i64..80) {
+        let (_, pair) = hare::fast_star::fast_star(&g, delta);
+        prop_assert!(pair.mirror_cells_balanced());
+        prop_assert_eq!(pair.total() % 2, 0);
+    }
+
+    /// Dedicated pair/triangle counters agree with the full pipeline.
+    #[test]
+    fn specialised_equal_full(g in graph_strategy(40), delta in 0i64..80) {
+        let full = hare::count_motifs(&g, delta);
+        let pairs = hare::count_pair_motifs(&g, delta);
+        let tris = hare::count_triangle_motifs(&g, delta);
+        for mo in Motif::all() {
+            match mo.category() {
+                MotifCategory::Pair => prop_assert_eq!(full.get(mo), pairs.get(mo)),
+                MotifCategory::Triangle => prop_assert_eq!(full.get(mo), tris.get(mo)),
+                MotifCategory::Star => {}
+            }
+        }
+    }
+
+    /// Duplicating every edge (same timestamps) scales pair counts by
+    /// predictable combinatorics only through enumeration equality —
+    /// cheap sanity that multi-edges don't break anything.
+    #[test]
+    fn edge_duplication_consistency(g in graph_strategy(20), delta in 0i64..40) {
+        let mut b = GraphBuilder::new();
+        for e in g.edges() {
+            b.add_edge(e.src, e.dst, e.t);
+            b.add_edge(e.src, e.dst, e.t);
+        }
+        let doubled = b.build();
+        let fast = hare::count_motifs(&doubled, delta);
+        let oracle = hare_baselines::enumerate_all(&doubled, delta);
+        prop_assert_eq!(fast.matrix, oracle);
+    }
+}

@@ -1,0 +1,113 @@
+//! Accuracy validation of the sampling baselines (BTS, EWS): exactness
+//! in the degenerate configurations, approximate unbiasedness over
+//! seeds, and error decreasing with the sampling budget.
+
+use hare_baselines::{bts::BtsConfig, ews::EwsConfig, EstimateMatrix};
+use temporal_graph::gen::GenConfig;
+
+fn workload(seed: u64) -> temporal_graph::TemporalGraph {
+    GenConfig {
+        nodes: 60,
+        edges: 4_000,
+        time_span: 80_000,
+        mean_burst_len: 2.5,
+        seed,
+        ..GenConfig::default()
+    }
+    .generate()
+}
+
+#[test]
+fn ews_with_p_one_is_exact_on_all_36_cells() {
+    let g = workload(1);
+    let delta = 800;
+    let exact = hare::count_motifs(&g, delta);
+    let est = hare_baselines::ews_estimate(
+        &g,
+        delta,
+        &EwsConfig {
+            edge_prob: 1.0,
+            seed: 3,
+        },
+    );
+    assert_eq!(est.mean_relative_error(&exact.matrix), 0.0);
+}
+
+#[test]
+fn ews_error_decreases_with_sampling_probability() {
+    let g = workload(2);
+    let delta = 800;
+    let exact = hare::count_motifs(&g, delta);
+    let mean_err = |p: f64| -> f64 {
+        let runs = 12;
+        (0..runs)
+            .map(|seed| {
+                hare_baselines::ews_estimate(&g, delta, &EwsConfig { edge_prob: p, seed })
+                    .mean_relative_error(&exact.matrix)
+            })
+            .sum::<f64>()
+            / runs as f64
+    };
+    let coarse = mean_err(0.05);
+    let fine = mean_err(0.5);
+    assert!(
+        fine < coarse,
+        "error should shrink with p: p=0.05 -> {coarse:.3}, p=0.5 -> {fine:.3}"
+    );
+}
+
+#[test]
+fn bts_total_estimate_is_unbiased_over_seeds() {
+    let g = workload(3);
+    let delta = 500;
+    let exact = hare::count_pair_motifs(&g, delta).total() as f64;
+    assert!(exact > 50.0, "workload too sparse ({exact})");
+    let runs = 40;
+    let mean: f64 = (0..runs)
+        .map(|seed| {
+            hare_baselines::bts_pair_estimate(
+                &g,
+                delta,
+                &BtsConfig {
+                    window_factor: 8,
+                    sample_prob: 0.6,
+                    seed,
+                },
+            )
+            .total()
+        })
+        .sum::<f64>()
+        / runs as f64;
+    let rel = (mean - exact).abs() / exact;
+    assert!(rel < 0.25, "mean {mean:.1} vs exact {exact:.1} (rel {rel:.3})");
+}
+
+#[test]
+fn estimate_matrix_error_metric_behaves() {
+    let g = workload(4);
+    let delta = 500;
+    let exact = hare::count_motifs(&g, delta);
+    // A perfect estimate has zero error; a halved estimate has error 0.5
+    // on every populated cell.
+    let perfect = EstimateMatrix::from_exact(&exact.matrix);
+    assert_eq!(perfect.mean_relative_error(&exact.matrix), 0.0);
+    let mut halved = EstimateMatrix::default();
+    for (m, n) in exact.matrix.iter() {
+        halved.add(m, n as f64 / 2.0);
+    }
+    let err = halved.mean_relative_error(&exact.matrix);
+    assert!((err - 0.5).abs() < 1e-9, "{err}");
+}
+
+#[test]
+fn samplers_only_estimate_do_not_mutate_exact_path() {
+    // Running samplers and exact counters interleaved gives stable exact
+    // results (no hidden global state).
+    let g = workload(5);
+    let delta = 500;
+    let before = hare::count_motifs(&g, delta);
+    let _ = hare_baselines::ews_estimate(&g, delta, &EwsConfig::default());
+    let _ = hare_baselines::bts_pair_estimate(&g, delta, &BtsConfig::default());
+    let after = hare::count_motifs(&g, delta);
+    assert_eq!(before.matrix, after.matrix);
+}
