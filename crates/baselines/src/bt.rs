@@ -42,7 +42,10 @@ impl std::fmt::Display for PatternError {
             PatternError::Empty => write!(f, "pattern has no edges"),
             PatternError::SelfLoop { edge } => write!(f, "pattern edge {edge} is a self-loop"),
             PatternError::NonCanonicalLabels => {
-                write!(f, "pattern node labels must first appear in 0,1,2,... order")
+                write!(
+                    f,
+                    "pattern node labels must first appear in 0,1,2,... order"
+                )
             }
         }
     }
@@ -217,7 +220,16 @@ impl MotifPattern {
                     }
                     if self.try_bind(level, e, binding) {
                         matched.push(id as EdgeId);
-                        self.extend(g, delta, t0, id as EdgeId, level + 1, binding, matched, visit);
+                        self.extend(
+                            g,
+                            delta,
+                            t0,
+                            id as EdgeId,
+                            level + 1,
+                            binding,
+                            matched,
+                            visit,
+                        );
                         matched.pop();
                         self.unbind(level, binding);
                     }
@@ -344,10 +356,7 @@ mod tests {
 
     #[test]
     fn pattern_validation() {
-        assert_eq!(
-            MotifPattern::new(vec![]).unwrap_err(),
-            PatternError::Empty
-        );
+        assert_eq!(MotifPattern::new(vec![]).unwrap_err(), PatternError::Empty);
         assert_eq!(
             MotifPattern::new(vec![(0, 0)]).unwrap_err(),
             PatternError::SelfLoop { edge: 0 }
@@ -372,7 +381,11 @@ mod tests {
         for seed in 0..3 {
             let g = erdos_renyi_temporal(12, 150, 200, seed);
             let delta = 60;
-            assert_eq!(bt_count_all(&g, delta), enumerate_all(&g, delta), "seed {seed}");
+            assert_eq!(
+                bt_count_all(&g, delta),
+                enumerate_all(&g, delta),
+                "seed {seed}"
+            );
         }
     }
 

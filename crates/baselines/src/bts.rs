@@ -107,9 +107,7 @@ pub fn bts_estimate_with(
     pool.install(|| {
         windows
             .par_iter()
-            .map(|&w_start| {
-                count_window(g, delta, w_start, len, cfg.sample_prob, &patterns)
-            })
+            .map(|&w_start| count_window(g, delta, w_start, len, cfg.sample_prob, &patterns))
             .reduce(EstimateMatrix::default, |mut a, b| {
                 a.merge(&b);
                 a

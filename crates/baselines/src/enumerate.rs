@@ -191,11 +191,8 @@ mod tests {
 
     #[test]
     fn enumeration_respects_delta_boundary() {
-        let g = temporal_graph::TemporalGraph::from_edges(vec![
-            e(0, 1, 0),
-            e(0, 1, 5),
-            e(0, 1, 10),
-        ]);
+        let g =
+            temporal_graph::TemporalGraph::from_edges(vec![e(0, 1, 0), e(0, 1, 5), e(0, 1, 10)]);
         assert_eq!(enumerate_all(&g, 10).total(), 1);
         assert_eq!(enumerate_all(&g, 9).total(), 0);
     }

@@ -47,11 +47,9 @@ use crate::seq_counter::SequenceCounter;
 pub fn count_pairs(g: &TemporalGraph, delta: Timestamp) -> MotifMatrix {
     let pairs = g.pairs();
     let slots: Vec<usize> = (0..pairs.num_pairs()).collect();
-    let pc = slots
-        .iter()
-        .fold(PairCounter::default(), |acc, &slot| {
-            count_pair_slot(g, slot, delta, acc)
-        });
+    let pc = slots.iter().fold(PairCounter::default(), |acc, &slot| {
+        count_pair_slot(g, slot, delta, acc)
+    });
     let mut mx = MotifMatrix::default();
     pc.add_to_matrix_pair_based(&mut mx);
     mx
@@ -145,7 +143,10 @@ fn count_stars_at(
             continue;
         }
         // Direction prefix over this neighbour's own positions.
-        let mut nprefix = [vec![0u32; positions.len() + 1], vec![0u32; positions.len() + 1]];
+        let mut nprefix = [
+            vec![0u32; positions.len() + 1],
+            vec![0u32; positions.len() + 1],
+        ];
         for (k, &p) in positions.iter().enumerate() {
             let dir = s[p as usize].dir.index();
             for d in 0..2 {
@@ -296,11 +297,9 @@ fn tri_label_lut() -> &'static [Option<Motif>; 216] {
 #[must_use]
 pub fn count_triangles(g: &TemporalGraph, delta: Timestamp) -> MotifMatrix {
     let triangles = static_triangles(g);
-    triangles
-        .iter()
-        .fold(MotifMatrix::default(), |acc, &tri| {
-            count_one_triangle(g, tri, delta, acc)
-        })
+    triangles.iter().fold(MotifMatrix::default(), |acc, &tri| {
+        count_one_triangle(g, tri, delta, acc)
+    })
 }
 
 fn count_one_triangle(
@@ -311,10 +310,13 @@ fn count_one_triangle(
 ) -> MotifMatrix {
     // Merge the three pair lists by edge id (chronological total order),
     // labelling each event with pair slot × direction.
-    let lists = [g.pair_events(x, y), g.pair_events(x, z), g.pair_events(y, z)];
-    let mut merged: Vec<(u8, Timestamp, u32)> = Vec::with_capacity(
-        lists.iter().map(|l| l.len()).sum(),
-    );
+    let lists = [
+        g.pair_events(x, y),
+        g.pair_events(x, z),
+        g.pair_events(y, z),
+    ];
+    let mut merged: Vec<(u8, Timestamp, u32)> =
+        Vec::with_capacity(lists.iter().map(|l| l.len()).sum());
     for (slot, list) in lists.iter().enumerate() {
         for p in *list {
             let label = (slot * 2 + p.dir_from_lo.index()) as u8;
@@ -511,7 +513,11 @@ mod tests {
         let delta = 150;
         let seq = count_all(&g, delta);
         for threads in [1, 2, 4] {
-            assert_eq!(count_all_parallel(&g, delta, threads), seq, "{threads} threads");
+            assert_eq!(
+                count_all_parallel(&g, delta, threads),
+                seq,
+                "{threads} threads"
+            );
         }
     }
 

@@ -168,8 +168,11 @@ mod tests {
             for j in i + 1..events.len() {
                 for k in j + 1..events.len() {
                     if events[k].1 - events[i].1 <= delta {
-                        let (a, b, c) =
-                            (events[i].0 as usize, events[j].0 as usize, events[k].0 as usize);
+                        let (a, b, c) = (
+                            events[i].0 as usize,
+                            events[j].0 as usize,
+                            events[k].0 as usize,
+                        );
                         brute[(a * 3 + b) * 3 + c] += 1;
                     }
                 }

@@ -126,7 +126,16 @@ fn census_dfs(
         } else if depth + 1 < max_len && !nodes.contains(&ev.other) {
             nodes.push(ev.other);
             census_dfs(
-                g, delta, max_len, t0, root, ev.other, ev.edge, depth + 1, nodes, by_len,
+                g,
+                delta,
+                max_len,
+                t0,
+                root,
+                ev.other,
+                ev.edge,
+                depth + 1,
+                nodes,
+                by_len,
             );
             nodes.pop();
         }
@@ -158,7 +167,9 @@ pub fn enumerate_cycles(
         path.push(id);
         nodes.push(e1.src);
         nodes.push(e1.dst);
-        dfs(g, delta, len, e1.t, e1.src, e1.dst, id, &mut path, &mut nodes, &mut visit);
+        dfs(
+            g, delta, len, e1.t, e1.src, e1.dst, id, &mut path, &mut nodes, &mut visit,
+        );
         nodes.clear();
         path.clear();
     }
@@ -197,7 +208,9 @@ fn dfs(
         } else if ev.other != root && !nodes.contains(&ev.other) {
             path.push(ev.edge);
             nodes.push(ev.other);
-            dfs(g, delta, len, t0, root, ev.other, ev.edge, path, nodes, visit);
+            dfs(
+                g, delta, len, t0, root, ev.other, ev.edge, path, nodes, visit,
+            );
             nodes.pop();
             path.pop();
         }
@@ -246,11 +259,7 @@ mod tests {
             let g = erdos_renyi_temporal(15, 400, 300, seed);
             let delta = 100;
             let fast = hare::count_motifs(&g, delta);
-            assert_eq!(
-                two_scent_tri(&g, delta),
-                fast.get(m(2, 6)),
-                "seed {seed}"
-            );
+            assert_eq!(two_scent_tri(&g, delta), fast.get(m(2, 6)), "seed {seed}");
         }
     }
 

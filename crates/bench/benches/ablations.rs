@@ -48,9 +48,21 @@ fn bench_hierarchical_parallelism(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_thrd_hub_graph");
     group.sample_size(10);
     for (name, thrd, sched) in [
-        ("hierarchical", DegreeThreshold::TopK(20), Scheduling::Dynamic),
-        ("inter_node_only", DegreeThreshold::Disabled, Scheduling::Dynamic),
-        ("static_schedule", DegreeThreshold::Disabled, Scheduling::Static),
+        (
+            "hierarchical",
+            DegreeThreshold::TopK(20),
+            Scheduling::Dynamic,
+        ),
+        (
+            "inter_node_only",
+            DegreeThreshold::Disabled,
+            Scheduling::Dynamic,
+        ),
+        (
+            "static_schedule",
+            DegreeThreshold::Disabled,
+            Scheduling::Static,
+        ),
     ] {
         let engine = Hare::new(HareConfig {
             num_threads: threads,
@@ -58,9 +70,7 @@ fn bench_hierarchical_parallelism(c: &mut Criterion) {
             scheduling: sched,
             ..HareConfig::default()
         });
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(engine.count_all(&g, delta)))
-        });
+        group.bench_function(name, |b| b.iter(|| black_box(engine.count_all(&g, delta))));
     }
     group.finish();
 }

@@ -123,6 +123,9 @@ mod tests {
         }
         .generate();
         let delta = 5_000;
-        assert_eq!(fast_tri_linear(&g, delta), hare::fast_tri::fast_tri(&g, delta));
+        assert_eq!(
+            fast_tri_linear(&g, delta),
+            hare::fast_tri::fast_tri(&g, delta)
+        );
     }
 }

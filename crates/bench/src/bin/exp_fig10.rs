@@ -40,17 +40,17 @@ fn main() {
         let ex = hare_baselines::ex::count_all(&g, w.delta);
         let fast = hare::count_motifs(&g, w.delta);
 
-        println!(
-            "\n{} (scale 1/{scale}: {} edges)",
-            spec.name,
-            g.num_edges()
-        );
+        println!("\n{} (scale 1/{scale}: {} edges)", spec.name, g.num_edges());
         print_matrix("EX", &ex);
         print_matrix("FAST", &fast.matrix);
         let agree = ex == fast.matrix;
         println!(
             "  agreement: {}  (total instances: {})",
-            if agree { "EXACT — all 36 cells equal" } else { "MISMATCH" },
+            if agree {
+                "EXACT — all 36 cells equal"
+            } else {
+                "MISMATCH"
+            },
             human_count(fast.total())
         );
         assert!(agree, "FAST and EX must agree on {}", spec.name);

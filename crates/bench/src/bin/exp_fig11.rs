@@ -45,11 +45,7 @@ fn main() {
 
     for spec in &specs {
         let (g, scale) = w.generate(spec);
-        println!(
-            "\n{} (scale 1/{scale}: {} edges)",
-            spec.name,
-            g.num_edges()
-        );
+        println!("\n{} (scale 1/{scale}: {} edges)", spec.name, g.num_edges());
         println!(
             "{:>8} | {:>10} {:>10} | {:>10} {:>10}",
             "#threads", "HARE", "EX(par)", "HARE-Pair", "BTS-Pair"
@@ -61,9 +57,7 @@ fn main() {
                 ..HareConfig::default()
             });
             let (hare_counts, t_hare) = time(|| engine.count_all(&g, w.delta));
-            let (ex_counts, t_ex) = time(|| {
-                hare_baselines::ex::count_all_parallel(&g, w.delta, n)
-            });
+            let (ex_counts, t_ex) = time(|| hare_baselines::ex::count_all_parallel(&g, w.delta, n));
             assert_eq!(hare_counts.matrix, ex_counts);
             match &reference {
                 Some(r) => assert_eq!(*r, hare_counts.matrix, "thread-count changed results"),

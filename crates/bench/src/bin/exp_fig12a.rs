@@ -24,21 +24,19 @@ fn main() {
     println!("Fig. 12(a): running time vs delta, #threads = {threads}");
     for spec in &specs {
         let (g, scale) = w.generate(spec);
+        println!("\n{} (scale 1/{scale}: {} edges)", spec.name, g.num_edges());
         println!(
-            "\n{} (scale 1/{scale}: {} edges)",
-            spec.name,
-            g.num_edges()
+            "{:>10} | {:>10} {:>10} {:>8}",
+            "delta(s)", "HARE", "EX(par)", "ratio"
         );
-        println!("{:>10} | {:>10} {:>10} {:>8}", "delta(s)", "HARE", "EX(par)", "ratio");
         for &delta in &deltas {
             let engine = Hare::new(HareConfig {
                 num_threads: threads,
                 ..HareConfig::default()
             });
             let (hare_counts, t_hare) = time(|| engine.count_all(&g, delta));
-            let (ex_counts, t_ex) = time(|| {
-                hare_baselines::ex::count_all_parallel(&g, delta, threads)
-            });
+            let (ex_counts, t_ex) =
+                time(|| hare_baselines::ex::count_all_parallel(&g, delta, threads));
             assert_eq!(hare_counts.matrix, ex_counts);
             println!(
                 "{:>10} | {:>10} {:>10} {:>7.1}x",

@@ -27,7 +27,10 @@ fn main() {
     // Threshold policies under test.
     let mut policies: Vec<(String, DegreeThreshold, Scheduling)> = Vec::new();
     if let Some(list) = args.get("thrds") {
-        for t in list.split(',').filter_map(|s| s.trim().parse::<usize>().ok()) {
+        for t in list
+            .split(',')
+            .filter_map(|s| s.trim().parse::<usize>().ok())
+        {
             policies.push((
                 format!("thrd={t}"),
                 DegreeThreshold::Fixed(t),

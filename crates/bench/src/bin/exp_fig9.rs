@@ -67,7 +67,14 @@ fn main() {
         let mut pair = PairCounter::default();
         let mut tri = TriCounter::default();
         for &u in &nodes {
-            hare::fast_star::count_node_star_pair(&g, u, w.delta, &mut scratch, &mut star, &mut pair);
+            hare::fast_star::count_node_star_pair(
+                &g,
+                u,
+                w.delta,
+                &mut scratch,
+                &mut star,
+                &mut pair,
+            );
             hare::fast_tri::count_node_tri(&g, u, w.delta, &mut tri);
         }
         let avg = start.elapsed().as_secs_f64() / nodes.len() as f64;

@@ -65,9 +65,7 @@ fn main() {
 
         // --- full 36-motif counting ---
         let (ex_counts, t_ex) = time(|| hare_baselines::ex::count_all(&g, delta));
-        let (_, t_ews) = time(|| {
-            hare_baselines::ews_estimate(&g, delta, &EwsConfig::default())
-        });
+        let (_, t_ews) = time(|| hare_baselines::ews_estimate(&g, delta, &EwsConfig::default()));
         let (fast_counts, t_fast) = time(|| hare::count_motifs(&g, delta));
         assert_eq!(
             ex_counts, fast_counts.matrix,
@@ -77,9 +75,8 @@ fn main() {
 
         // --- pair motifs only ---
         let (bt_pairs, t_bt) = time(|| hare_baselines::bt_count_pairs(&g, delta));
-        let (_, t_bts) = time(|| {
-            hare_baselines::bts_pair_estimate(&g, delta, &BtsConfig::default())
-        });
+        let (_, t_bts) =
+            time(|| hare_baselines::bts_pair_estimate(&g, delta, &BtsConfig::default()));
         let (fast_pairs, t_fastp) = time(|| hare::count_pair_motifs(&g, delta));
         for mo in hare::Motif::all().filter(|m| m.category() == hare::MotifCategory::Pair) {
             assert_eq!(bt_pairs.get(mo), fast_pairs.get(mo));
@@ -89,8 +86,7 @@ fn main() {
         // 2SCENT enumerates all simple temporal cycles (we bound length
         // at 10 as its evaluation does); only the 3-cycles are a grid
         // motif, which is the paper's point about this baseline.
-        let (census, t_2scent) =
-            time(|| hare_baselines::two_scent_census(&g, delta, 10));
+        let (census, t_2scent) = time(|| hare_baselines::two_scent_census(&g, delta, 10));
         let (fast_tris, t_fastt) = time(|| hare::count_triangle_motifs(&g, delta));
         assert_eq!(census.triangles(), fast_tris.get(hare::motif::m(2, 6)));
 

@@ -198,9 +198,16 @@ mod tests {
     #[test]
     fn args_parse_forms() {
         let a = Args::from_iter(
-            ["--delta", "600", "--json", "--max-edges=5000", "--list", "1,2,3"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--delta",
+                "600",
+                "--json",
+                "--max-edges=5000",
+                "--list",
+                "1,2,3",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(a.get_num("delta", 0i64), 600);
         assert!(a.flag("json"));

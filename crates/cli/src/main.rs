@@ -11,7 +11,7 @@
 
 use std::process::ExitCode;
 
-use hare::{Hare, HareConfig, Motif, MotifCategory};
+use hare::{Hare, HareConfig, MotifCategory};
 use temporal_graph::io::{load_graph, LoadOptions};
 use temporal_graph::stats::GraphStats;
 
@@ -69,12 +69,28 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         match arg.as_str() {
             "--input" => o.input = Some(value("--input")?),
             "--dataset" => o.dataset = Some(value("--dataset")?),
-            "--scale" => o.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
-            "--delta" => o.delta = Some(value("--delta")?.parse().map_err(|e| format!("--delta: {e}"))?),
-            "--threads" => o.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?,
+            "--scale" => {
+                o.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--delta" => {
+                o.delta = Some(
+                    value("--delta")?
+                        .parse()
+                        .map_err(|e| format!("--delta: {e}"))?,
+                )
+            }
+            "--threads" => {
+                o.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
             "--only" => o.only = value("--only")?,
             "--timestamp-col" => {
-                o.timestamp_col = value("--timestamp-col")?.parse().map_err(|e| format!("--timestamp-col: {e}"))?;
+                o.timestamp_col = value("--timestamp-col")?
+                    .parse()
+                    .map_err(|e| format!("--timestamp-col: {e}"))?;
             }
             "--json" => o.json = true,
             "--stats" => o.stats = true,
@@ -91,8 +107,14 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     if o.delta.is_none() && !o.stats {
         return Err("--delta is required (seconds)".into());
     }
+    if o.scale == 0 {
+        return Err("--scale must be at least 1".into());
+    }
     if !matches!(o.only.as_str(), "all" | "pairs" | "stars" | "triangles") {
-        return Err(format!("--only must be all|pairs|stars|triangles, got {:?}", o.only));
+        return Err(format!(
+            "--only must be all|pairs|stars|triangles, got {:?}",
+            o.only
+        ));
     }
     Ok(o)
 }
@@ -131,7 +153,11 @@ fn run(o: &Opts) -> Result<(), String> {
         } else {
             println!(
                 "nodes {}  edges {}  span {}  max-degree {}  mean-degree {:.2}",
-                stats.num_nodes, stats.num_edges, stats.time_span, stats.max_degree, stats.mean_degree
+                stats.num_nodes,
+                stats.num_edges,
+                stats.time_span,
+                stats.max_degree,
+                stats.mean_degree
             );
         }
         return Ok(());
@@ -195,8 +221,9 @@ fn run(o: &Opts) -> Result<(), String> {
         ] {
             println!("{label:>9} total: {}", matrix.category_total(cat));
         }
+        // Grid layout (rows/cols to motif identities) is documented in
+        // `hare::motif`.
         println!("    total: {}", matrix.total());
-        let _ = Motif::all(); // grid layout documented in `hare::motif`
     }
     Ok(())
 }
@@ -242,16 +269,27 @@ mod tests {
     #[test]
     fn rejects_missing_source_and_conflicts() {
         assert!(parse_args(&args(&["--delta", "600"])).is_err());
-        assert!(parse_args(&args(&[
-            "--input", "a", "--dataset", "b", "--delta", "1"
+        assert!(parse_args(&args(&["--input", "a", "--dataset", "b", "--delta", "1"])).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_scale() {
+        let e = parse_args(&args(&[
+            "--dataset",
+            "CollegeMsg",
+            "--delta",
+            "1",
+            "--scale",
+            "0",
         ]))
-        .is_err());
+        .unwrap_err();
+        assert!(e.contains("--scale"), "{e}");
     }
 
     #[test]
     fn rejects_bad_only() {
-        let e = parse_args(&args(&["--input", "x", "--delta", "1", "--only", "wedges"]))
-            .unwrap_err();
+        let e =
+            parse_args(&args(&["--input", "x", "--delta", "1", "--only", "wedges"])).unwrap_err();
         assert!(e.contains("--only"));
     }
 

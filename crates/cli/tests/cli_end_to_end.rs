@@ -1,0 +1,203 @@
+//! End-to-end tests of the `hare-count` binary: spawn the real
+//! executable (via `CARGO_BIN_EXE_hare-count`) and check exit codes,
+//! human output, and the `--json` output shape.
+
+use std::process::{Command, Output};
+
+fn hare_count(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hare-count"))
+        .args(args)
+        .output()
+        .expect("failed to spawn hare-count")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("stdout is utf-8")
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = hare_count(&["--help"]);
+    assert!(out.status.success());
+    let text = stdout_of(&out);
+    assert!(text.contains("USAGE"), "{text}");
+    assert!(text.contains("--delta"), "{text}");
+}
+
+#[test]
+fn missing_arguments_fail_with_usage_on_stderr() {
+    let out = hare_count(&["--delta", "600"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--input or --dataset"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn unknown_dataset_lists_known_names() {
+    let out = hare_count(&["--dataset", "NoSuchNet", "--delta", "600"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown dataset"), "{err}");
+    assert!(err.contains("CollegeMsg"), "{err}");
+}
+
+#[test]
+fn dataset_run_prints_motif_matrix_and_totals() {
+    let out = hare_count(&["--dataset", "CollegeMsg", "--scale", "8", "--delta", "600"]);
+    assert!(out.status.success());
+    let text = stdout_of(&out);
+    // The 6×6 canonical grid plus the per-category totals.
+    for row in ["row1", "row2", "row3", "row4", "row5", "row6"] {
+        assert!(text.contains(row), "missing {row} in output:\n{text}");
+    }
+    assert!(text.contains("pair total:"), "{text}");
+    assert!(text.contains("star total:"), "{text}");
+    assert!(text.contains("triangle total:"), "{text}");
+}
+
+#[test]
+fn json_output_has_the_documented_shape() {
+    let out = hare_count(&[
+        "--dataset",
+        "CollegeMsg",
+        "--scale",
+        "8",
+        "--delta",
+        "600",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let v = serde_json::from_str(stdout_of(&out).trim()).expect("stdout is one JSON object");
+    assert_eq!(v["delta"].as_i64(), Some(600));
+    assert!(v["nodes"].as_u64().unwrap() > 0);
+    assert!(v["edges"].as_u64().unwrap() > 0);
+    assert!(v["seconds"].as_f64().unwrap() >= 0.0);
+    let cells = v["counts"].as_array().expect("counts is an array");
+    assert_eq!(cells.len(), 36, "one cell per canonical motif");
+    let sum: u64 = cells.iter().map(|c| c["count"].as_u64().unwrap()).sum();
+    assert_eq!(v["total"].as_u64(), Some(sum), "total equals cell sum");
+    // Every cell names a motif like "M23".
+    for cell in cells {
+        let name = cell["motif"].as_str().unwrap();
+        assert!(
+            name.len() == 3 && name.starts_with('M'),
+            "unexpected motif name {name:?}"
+        );
+    }
+}
+
+#[test]
+fn only_pairs_populates_exactly_the_pair_cells() {
+    let out = hare_count(&[
+        "--dataset",
+        "CollegeMsg",
+        "--scale",
+        "8",
+        "--delta",
+        "600",
+        "--only",
+        "pairs",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let v = serde_json::from_str(stdout_of(&out).trim()).unwrap();
+    let cells = v["counts"].as_array().unwrap();
+    assert_eq!(cells.len(), 36);
+    // The four pair motifs occupy the (5,5)..(6,6) block of the grid:
+    // M55, M56, M65, M66. Everything else must be zero in pair-only mode.
+    let pair_names = ["M55", "M56", "M65", "M66"];
+    let mut pair_total = 0u64;
+    for cell in cells {
+        let name = cell["motif"].as_str().unwrap();
+        let count = cell["count"].as_u64().unwrap();
+        if pair_names.contains(&name) {
+            pair_total += count;
+        } else {
+            assert_eq!(count, 0, "non-pair motif {name} counted in pair-only mode");
+        }
+    }
+    assert!(pair_total > 0, "pair-rich messaging workload counted none");
+    assert_eq!(v["total"].as_u64(), Some(pair_total));
+}
+
+#[test]
+fn only_pairs_agrees_with_full_count_on_pair_cells() {
+    let common = [
+        "--dataset",
+        "CollegeMsg",
+        "--scale",
+        "8",
+        "--delta",
+        "600",
+        "--json",
+    ];
+    let full = hare_count(&common);
+    let pairs: Vec<&str> = common.iter().copied().chain(["--only", "pairs"]).collect();
+    let pairs = hare_count(&pairs);
+    let vf = serde_json::from_str(stdout_of(&full).trim()).unwrap();
+    let vp = serde_json::from_str(stdout_of(&pairs).trim()).unwrap();
+    let count_of = |v: &serde_json::Value, name: &str| -> u64 {
+        v["counts"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c["motif"].as_str() == Some(name))
+            .and_then(|c| c["count"].as_u64())
+            .unwrap()
+    };
+    for name in ["M55", "M56", "M65", "M66"] {
+        assert_eq!(
+            count_of(&vf, name),
+            count_of(&vp, name),
+            "pair cell {name} differs between full and pair-only runs"
+        );
+    }
+}
+
+#[test]
+fn stats_mode_reports_graph_shape_without_delta() {
+    let out = hare_count(&[
+        "--dataset",
+        "CollegeMsg",
+        "--scale",
+        "8",
+        "--stats",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let v = serde_json::from_str(stdout_of(&out).trim()).unwrap();
+    assert!(v["nodes"].as_u64().unwrap() > 0);
+    assert!(v["edges"].as_u64().unwrap() > 0);
+    assert!(v["max_degree"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn input_file_path_end_to_end() {
+    // A triangle within δ plus one far-away edge, through a temp file.
+    // Per-process unique path so concurrent test runs don't race.
+    let dir = std::env::temp_dir().join(format!("hare_cli_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("edges.txt");
+    std::fs::write(&path, "0 1 10\n1 2 12\n2 0 14\n3 4 99999\n").unwrap();
+    let out = hare_count(&[
+        "--input",
+        path.to_str().unwrap(),
+        "--delta",
+        "600",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8(out.stderr.clone()).unwrap()
+    );
+    let v = serde_json::from_str(stdout_of(&out).trim()).unwrap();
+    assert_eq!(v["nodes"].as_u64(), Some(5));
+    assert_eq!(v["edges"].as_u64(), Some(4));
+    assert!(
+        v["total"].as_u64().unwrap() > 0,
+        "triangle instance expected"
+    );
+    std::fs::remove_file(&path).ok();
+}

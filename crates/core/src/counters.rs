@@ -150,9 +150,9 @@ impl PairCounter {
     #[must_use]
     pub fn mirror_cells_balanced(&self) -> bool {
         Dir::BOTH.into_iter().all(|d2| {
-            Dir::BOTH.into_iter().all(|d3| {
-                self.get(Dir::Out, d2, d3) == self.get(Dir::In, d2.flip(), d3.flip())
-            })
+            Dir::BOTH
+                .into_iter()
+                .all(|d3| self.get(Dir::Out, d2, d3) == self.get(Dir::In, d2.flip(), d3.flip()))
         })
     }
 }
@@ -233,7 +233,10 @@ impl TriCounter {
     pub fn class_cells_balanced(&self) -> bool {
         let mut per_class: std::collections::HashMap<Motif, Vec<u64>> = Default::default();
         for (ty, di, dj, dk, n) in self.iter() {
-            per_class.entry(tri_motif(ty, di, dj, dk)).or_default().push(n);
+            per_class
+                .entry(tri_motif(ty, di, dj, dk))
+                .or_default()
+                .push(n);
         }
         per_class.values().all(|v| v.iter().all(|&n| n == v[0]))
     }

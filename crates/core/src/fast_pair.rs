@@ -114,9 +114,7 @@ mod tests {
     fn burst_of_k_edges_counts_choose_three() {
         // k same-direction edges in window: C(k,3) instances, all M55.
         let k = 10u64;
-        let edges = (0..k)
-            .map(|i| TemporalEdge::new(0, 1, i as i64))
-            .collect();
+        let edges = (0..k).map(|i| TemporalEdge::new(0, 1, i as i64)).collect();
         let g = TemporalGraph::from_edges(edges);
         let pair = fast_pair(&g, 1_000);
         let expect = k * (k - 1) * (k - 2) / 6;

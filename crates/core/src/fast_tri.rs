@@ -125,8 +125,8 @@ mod tests {
     #[test]
     fn m25_counted_from_all_three_centers() {
         let g = temporal_graph::TemporalGraph::from_edges(vec![
-            TemporalEdge::new(0, 2, 8), // a -> c
-            TemporalEdge::new(3, 0, 9), // d -> a
+            TemporalEdge::new(0, 2, 8),  // a -> c
+            TemporalEdge::new(3, 0, 9),  // d -> a
             TemporalEdge::new(2, 3, 17), // c -> d
         ]);
         let delta = 10;

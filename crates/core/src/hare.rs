@@ -167,7 +167,11 @@ impl Hare {
 
     /// Count star and pair motifs only (parallel FAST-Star).
     #[must_use]
-    pub fn count_star_pair(&self, g: &TemporalGraph, delta: Timestamp) -> (StarCounter, PairCounter) {
+    pub fn count_star_pair(
+        &self,
+        g: &TemporalGraph,
+        delta: Timestamp,
+    ) -> (StarCounter, PairCounter) {
         let (star, pair, _) = self.run(g, delta, Work::StarPair);
         (star, pair)
     }

@@ -251,7 +251,11 @@ pub fn classify_instance(
             // Pair motif: directions relative to e1's source.
             let anchor = e1.src;
             let dir = |e: &temporal_graph::TemporalEdge| {
-                if e.src == anchor { Dir::Out } else { Dir::In }
+                if e.src == anchor {
+                    Dir::Out
+                } else {
+                    Dir::In
+                }
             };
             Some(pair_motif(Dir::Out, dir(&e2), dir(&e3)))
         }

@@ -152,12 +152,15 @@ impl StreamingCounter {
         });
         let (lo, hi) = if src <= dst { (src, dst) } else { (dst, src) };
         let dir_from_lo = if src == lo { Dir::Out } else { Dir::In };
-        self.pair_events.entry((lo, hi)).or_default().push(StreamEvent {
-            t,
-            other: 0,
-            dir: dir_from_lo,
-            id,
-        });
+        self.pair_events
+            .entry((lo, hi))
+            .or_default()
+            .push(StreamEvent {
+                t,
+                other: 0,
+                dir: dir_from_lo,
+                id,
+            });
         Ok(())
     }
 
@@ -276,7 +279,11 @@ mod tests {
         let g = paper_fig1_toy();
         for delta in [0, 5, 10, 50] {
             let sc = stream_graph(&g, delta);
-            assert_eq!(sc.counts(), crate::count_motifs(&g, delta).matrix, "{delta}");
+            assert_eq!(
+                sc.counts(),
+                crate::count_motifs(&g, delta).matrix,
+                "{delta}"
+            );
         }
     }
 
@@ -286,7 +293,11 @@ mod tests {
             let g = erdos_renyi_temporal(15, 400, 300, seed);
             let delta = 90;
             let sc = stream_graph(&g, delta);
-            assert_eq!(sc.counts(), crate::count_motifs(&g, delta).matrix, "seed {seed}");
+            assert_eq!(
+                sc.counts(),
+                crate::count_motifs(&g, delta).matrix,
+                "seed {seed}"
+            );
         }
     }
 

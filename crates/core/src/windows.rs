@@ -100,10 +100,7 @@ mod tests {
     #[test]
     fn burst_shows_up_in_its_window_only() {
         // Quiet background plus a cycle burst at t in [5000, 5200].
-        let mut edges = vec![
-            TemporalEdge::new(0, 1, 100),
-            TemporalEdge::new(2, 3, 9_000),
-        ];
+        let mut edges = vec![TemporalEdge::new(0, 1, 100), TemporalEdge::new(2, 3, 9_000)];
         for k in 0..5 {
             let t0 = 5_000 + k * 40;
             edges.push(TemporalEdge::new(10, 11, t0));

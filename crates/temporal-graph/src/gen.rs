@@ -89,8 +89,7 @@ impl GenConfig {
         assert!(self.mean_burst_len >= 1.0, "mean_burst_len must be >= 1");
 
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let zipf = Zipf::new(self.nodes as u64, self.zipf_exponent)
-            .expect("valid Zipf parameters");
+        let zipf = Zipf::new(self.nodes as u64, self.zipf_exponent).expect("valid Zipf parameters");
         // Zipf yields ranks in 1..=nodes; rank 1 = most popular. Use the
         // rank directly as the node id so hubs are the low ids.
         let sample_node = |rng: &mut StdRng| -> NodeId { (zipf.sample(rng) as u64 - 1) as NodeId };

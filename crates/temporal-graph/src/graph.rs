@@ -418,6 +418,7 @@ mod tests {
         assert_eq!(evs[0].dir_from_lo, Dir::In); // d -> c means hi -> lo
         assert_eq!(evs[1].t, 17);
         assert_eq!(evs[1].dir_from_lo, Dir::Out); // c -> d means lo -> hi
+
         // Symmetric query.
         assert_eq!(g.pair_events(3, 2), evs);
         // Direction relative to each endpoint.

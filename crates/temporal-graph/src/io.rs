@@ -326,8 +326,11 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        let err = load_graph("/nonexistent/definitely/missing.txt", &LoadOptions::default())
-            .unwrap_err();
+        let err = load_graph(
+            "/nonexistent/definitely/missing.txt",
+            &LoadOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, LoadError::Io(_)));
     }
 

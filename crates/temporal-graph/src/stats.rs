@@ -110,7 +110,10 @@ pub fn top_k_degrees(g: &TemporalGraph, k: usize) -> Vec<usize> {
 /// empty graph (so no node is ever classified heavy).
 #[must_use]
 pub fn default_degree_threshold(g: &TemporalGraph, top_k: usize) -> usize {
-    top_k_degrees(g, top_k).last().copied().unwrap_or(usize::MAX)
+    top_k_degrees(g, top_k)
+        .last()
+        .copied()
+        .unwrap_or(usize::MAX)
 }
 
 /// Average number of events within a `delta` window starting at each event
@@ -181,7 +184,14 @@ mod tests {
         let total: usize = bins.iter().map(|b| b.count).sum();
         assert_eq!(total, g.num_nodes());
         // 10 spokes with degree 1 land in [1,2); hub in [8,16).
-        assert_eq!(bins[1], DegreeBin { lo: 1, hi: 2, count: 10 });
+        assert_eq!(
+            bins[1],
+            DegreeBin {
+                lo: 1,
+                hi: 2,
+                count: 10
+            }
+        );
         assert_eq!(bins.last().unwrap().count, 1);
     }
 

@@ -78,11 +78,8 @@ fn main() {
         // Trailing z-score against the history so far (needs >= 5 days).
         let verdict = if history.len() >= 5 {
             let mean = history.iter().sum::<f64>() / history.len() as f64;
-            let var = history
-                .iter()
-                .map(|x| (x - mean).powi(2))
-                .sum::<f64>()
-                / history.len() as f64;
+            let var =
+                history.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / history.len() as f64;
             let z = (cycles - mean) / var.sqrt().max(1.0);
             let flag = if z > 4.0 { "<<< ANOMALY" } else { "" };
             format!("{z:>7.2} | {flag}")

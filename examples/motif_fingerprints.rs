@@ -51,10 +51,7 @@ fn main() {
     for (name, scale) in picks {
         let spec = hare_datasets::by_name(name).expect("dataset");
         let g = spec.generate(scale);
-        println!(
-            "  {name:<14} 1/{scale:<4} {:>8} edges",
-            g.num_edges()
-        );
+        println!("  {name:<14} 1/{scale:<4} {:>8} edges", g.num_edges());
         names.push(name);
         prints.push(fingerprint(&g, delta));
     }

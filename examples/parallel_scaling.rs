@@ -25,7 +25,12 @@ fn main() {
     println!("top-5 degrees: {top:?} (default thrd = min of top-20)");
 
     let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
-    println!("\n{:<34} {:>9} {:>9}", "configuration", "1 thread", format!("{cores} threads"));
+    println!(
+        "\n{:<34} {:>9} {:>9}",
+        "configuration",
+        "1 thread",
+        format!("{cores} threads")
+    );
 
     let mut reference = None;
     for (name, thrd, sched) in [

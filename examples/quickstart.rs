@@ -54,7 +54,10 @@ fn main() {
 
     // Individual motifs are addressed by grid position.
     let m65 = Motif::new(6, 5);
-    println!("\ncount of {m65} (the 2-node ping-pong): {}", counts.get(m65));
+    println!(
+        "\ncount of {m65} (the 2-node ping-pong): {}",
+        counts.get(m65)
+    );
 
     // The parallel engine produces bit-identical results.
     let parallel = Hare::with_threads(0).count_all(&graph, delta);

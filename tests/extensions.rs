@@ -125,10 +125,7 @@ fn higher_order_patterns_on_known_structures() {
     assert_eq!(star4.count(&burst, 100), 5);
 
     // Cross-check the 4-cycle count against the cycle census.
-    assert_eq!(
-        hare_baselines::two_scent_census(&g, 100, 5).by_len[4],
-        1
-    );
+    assert_eq!(hare_baselines::two_scent_census(&g, 100, 5).by_len[4], 1);
 }
 
 #[test]
@@ -143,9 +140,7 @@ fn streaming_ingest_is_usable_for_online_alerts() {
         sc.push(e.src, e.dst, e.t).unwrap();
         if i % 500 == 499 {
             // Prefix equality against batch on the prefix graph.
-            let prefix = temporal_graph::TemporalGraph::from_edges(
-                g.edges()[..=i].to_vec(),
-            );
+            let prefix = temporal_graph::TemporalGraph::from_edges(g.edges()[..=i].to_vec());
             assert_eq!(sc.counts(), hare::count_motifs(&prefix, delta).matrix);
             checkpoints += 1;
         }

@@ -72,7 +72,10 @@ fn full_toy_matrix_from_all_engines() {
     assert_eq!(fast.matrix, hare_baselines::enumerate_all(&g, 10));
     assert_eq!(fast.matrix, hare_baselines::ex::count_all(&g, 10));
     assert_eq!(fast.matrix, hare_baselines::bt_count_all(&g, 10));
-    assert_eq!(fast.matrix, hare::Hare::with_threads(3).count_all(&g, 10).matrix);
+    assert_eq!(
+        fast.matrix,
+        hare::Hare::with_threads(3).count_all(&g, 10).matrix
+    );
 }
 
 #[test]

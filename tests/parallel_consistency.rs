@@ -73,7 +73,11 @@ fn scheduling_discipline_never_changes_results() {
             scheduling: sched,
             ..HareConfig::default()
         });
-        assert_eq!(engine.count_all(&g, delta).matrix, reference.matrix, "{sched:?}");
+        assert_eq!(
+            engine.count_all(&g, delta).matrix,
+            reference.matrix,
+            "{sched:?}"
+        );
     }
 }
 

@@ -79,7 +79,10 @@ fn bts_total_estimate_is_unbiased_over_seeds() {
         .sum::<f64>()
         / runs as f64;
     let rel = (mean - exact).abs() / exact;
-    assert!(rel < 0.25, "mean {mean:.1} vs exact {exact:.1} (rel {rel:.3})");
+    assert!(
+        rel < 0.25,
+        "mean {mean:.1} vs exact {exact:.1} (rel {rel:.3})"
+    );
 }
 
 #[test]

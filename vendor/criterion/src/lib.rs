@@ -1,0 +1,290 @@
+//! Offline stand-in for the subset of the `criterion` API this
+//! workspace uses (see `vendor/README.md`).
+//!
+//! A real measuring harness, minus criterion's statistics machinery:
+//! each benchmark runs a warm-up iteration and then `sample_size` timed
+//! iterations, reporting min / mean / median wall-clock time per
+//! iteration. Honors `--test` (one quick iteration per benchmark, as
+//! `cargo test --benches` passes) and a name-filter positional argument
+//! (as `cargo bench -- <filter>` passes).
+
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in
+/// favour of `std::hint::black_box`, which the workspace benches use).
+pub use std::hint::black_box;
+
+/// Harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags criterion accepts that the shim can ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            test_mode,
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(&id.into_benchmark_id(), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.test_mode { 1 } else { sample_size };
+        let mut bencher = Bencher {
+            samples,
+            warmup: !self.test_mode,
+            times: Vec::with_capacity(samples),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Finish the group (flush; a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark id with an optional parameter, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name plus a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// Conversion into the string id the shim reports under.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    warmup: bool,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, once per sample.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.warmup {
+            black_box(f());
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.times.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.times.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let mut sorted = self.times.clone();
+        sorted.sort_unstable();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{id:<50} min {:>12} | mean {:>12} | median {:>12} | {} samples",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(median),
+            sorted.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{:.3} µs", secs * 1e6)
+    }
+}
+
+/// Declare a benchmark group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures_and_counts_samples() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+            default_sample_size: 20,
+        };
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(5);
+            group.bench_function("work", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        // 5 samples + 1 warm-up.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+            default_sample_size: 20,
+        };
+        let mut runs = 0usize;
+        c.bench_function("quick", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("match-me".to_string()),
+            default_sample_size: 20,
+        };
+        let mut runs = 0usize;
+        c.bench_function("other", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+        c.bench_function(BenchmarkId::new("match-me", 7), |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("HARE", 4).to_string(), "HARE/4");
+    }
+}

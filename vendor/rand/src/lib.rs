@@ -1,0 +1,269 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses (see `vendor/README.md` for why the real crate cannot be fetched).
+//!
+//! The generator is **xoshiro256++** seeded through SplitMix64 — a
+//! high-quality, deterministic PRNG. Stream values differ from the real
+//! `rand::rngs::StdRng` (which is ChaCha12); nothing in the workspace
+//! depends on the exact stream, only on determinism and statistical
+//! quality.
+
+#![warn(rust_2018_idioms)]
+
+/// Low-level source of randomness: 64-bit outputs.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A random number generator seedable from a `u64` for reproducibility.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard RNG: xoshiro256++ (deterministic,
+    /// seedable, fast). API-compatible stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion of the seed, as recommended by the
+            // xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub(crate) fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng::from_u64(seed)
+        }
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform value in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                assert!(span > 0, "gen_range: empty range");
+                (lo as i128 + uniform_u128(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types that can describe a sampling domain for [`Rng::gen_range`]
+/// (half-open and inclusive integer ranges). Mirrors `rand`'s blanket
+/// impl structure so type inference flows from the range element type.
+pub trait SampleRange<T> {
+    /// Sample a uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        T::sample_in(rng, lo, hi, true)
+    }
+}
+
+/// Uniform integer in `[0, span)` by widening multiply (Lemire's method,
+/// with a rejection loop to remove the modulo bias).
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    // span always fits in u64 for the types above (i128 span of two u64s
+    // could exceed, but only i64/u64 full-width ranges do, which no caller
+    // uses; handle it anyway by splitting).
+    if span <= u64::MAX as u128 {
+        let span64 = span as u64;
+        // Lemire's widening-multiply method with rejection of the biased
+        // low zone: reject while low64(x * span) < 2^64 mod span.
+        let threshold = span64.wrapping_neg() % span64;
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128) * (span64 as u128);
+            if (m as u64) >= threshold {
+                return m >> 64;
+            }
+        }
+    } else {
+        let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        v % span
+    }
+}
+
+/// User-facing random-value methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform value from an integer range (`a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (must be in `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// A random `f64` in `[0, 1)`.
+    fn gen<T: FromRng>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types constructible from raw random bits (the shim's stand-in for the
+/// `Standard` distribution).
+pub trait FromRng {
+    /// Produce a value from the generator.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0..1_000_000u64)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0..1_000_000u64)).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.gen_range(0..1_000_000u64)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(5..17i64);
+            assert!((5..17).contains(&x));
+            let y = rng.gen_range(3..=9usize);
+            assert!((3..=9).contains(&y));
+            let z = rng.gen_range(-50..50i32);
+            assert!((-50..50).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "{hits}");
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

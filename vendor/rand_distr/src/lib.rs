@@ -1,0 +1,182 @@
+//! Offline stand-in for the subset of the `rand_distr` API this workspace
+//! uses: the [`Distribution`] trait and the [`Zipf`] distribution
+//! (see `vendor/README.md`).
+
+#![warn(rust_2018_idioms)]
+
+use rand::RngCore;
+
+/// Types that can sample values of `T` from a source of randomness,
+/// mirroring `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZipfError(&'static str);
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid Zipf parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf (zeta with finite support) distribution over ranks
+/// `1..=n` with exponent `s`: `P(k) ∝ k^{-s}`.
+///
+/// Sampling uses rejection-inversion (Hörmann & Derflinger 1996), the
+/// same algorithm as the real `rand_distr::Zipf` — O(1) per sample with
+/// no per-rank table, so it scales to multi-million-node graphs.
+/// Samples are returned as `f64` holding the integer rank, matching the
+/// `rand_distr` 0.4 API.
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    /// `H(1.5) - 1`, the upper bound of the inversion domain.
+    h_x1: f64,
+    /// `H(n + 0.5)`, the lower bound of the inversion domain.
+    h_n: f64,
+    /// Acceptance shortcut threshold.
+    q: f64,
+}
+
+impl Zipf {
+    /// Construct for `n` elements with exponent `s` (`n >= 1`, `s > 0`).
+    pub fn new(n: u64, s: f64) -> Result<Zipf, ZipfError> {
+        if n < 1 {
+            return Err(ZipfError("n must be at least 1"));
+        }
+        if !s.is_finite() || s <= 0.0 {
+            return Err(ZipfError("exponent must be a positive finite number"));
+        }
+        let nf = n as f64;
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(nf + 0.5, s);
+        let q = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+        Ok(Zipf {
+            n: nf,
+            s,
+            h_x1,
+            h_n,
+            q,
+        })
+    }
+}
+
+/// `H(x) = ∫₁ˣ t^(-s) dt`, shifted so `H` is continuous at `s = 1`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// `h(x) = x^(-s)`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(x: f64, s: f64) -> f64 {
+    let mut t = x * (1.0 - s);
+    if t < -1.0 {
+        // Numerical guard, as in the reference implementation.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `helper1(x) = ln(1 + x) / x`, stable near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `helper2(x) = (e^x - 1) / x`, stable near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            // Uniform in [h(n + 0.5), h(1.5) - 1).
+            let u01 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let u = self.h_n + u01 * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.s);
+            let k = x.round().clamp(1.0, self.n);
+            if k - x <= self.q || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, 1.0).is_ok());
+    }
+
+    #[test]
+    fn samples_in_support() {
+        let z = Zipf::new(100, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20_000 {
+            let x = z.sample(&mut rng);
+            assert_eq!(x, x.trunc());
+            assert!((1.0..=100.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        // For s = 1, P(1) = 1/H_100 ≈ 0.193. Check the empirical rate.
+        let z = Zipf::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let ones = (0..n).filter(|_| z.sample(&mut rng) == 1.0).count();
+        let rate = ones as f64 / n as f64;
+        assert!((0.17..0.22).contains(&rate), "{rate}");
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_more() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let share = |s: f64, rng: &mut StdRng| {
+            let z = Zipf::new(1_000, s).unwrap();
+            (0..20_000).filter(|_| z.sample(rng) <= 3.0).count()
+        };
+        let flat = share(0.8, &mut rng);
+        let skewed = share(1.3, &mut rng);
+        assert!(skewed > flat, "{skewed} vs {flat}");
+    }
+
+    #[test]
+    fn n_equal_one_always_one() {
+        let z = Zipf::new(1, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1.0);
+        }
+    }
+}

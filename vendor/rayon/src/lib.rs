@@ -1,0 +1,366 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace
+//! uses (see `vendor/README.md`).
+//!
+//! Unlike most shims this one is genuinely parallel: `map` fans its
+//! items out over `std::thread::scope` workers that pull from a shared
+//! queue (dynamic scheduling, like rayon's work stealing at chunk
+//! granularity). The one semantic simplification is that `map` is eager
+//! rather than lazy — every pipeline in this workspace is
+//! `source.map(heavy_work).reduce(..)/collect()`, where eager evaluation
+//! is observationally identical.
+
+#![warn(rust_2018_idioms)]
+
+use std::cell::Cell;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread count installed by the innermost [`ThreadPool::install`].
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The number of worker threads parallel operations will use on this
+/// thread (set by [`ThreadPool::install`], defaulting to all cores).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let n = CURRENT_THREADS.with(Cell::get);
+    if n == 0 {
+        default_threads()
+    } else {
+        n
+    }
+}
+
+/// Error building a thread pool. The shim's pools cannot actually fail
+/// to build; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (all cores).
+    #[must_use]
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker count; `0` means one worker per available core.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                default_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A scoped execution context carrying a thread-count setting. Workers
+/// are spawned per parallel operation (scoped threads), not kept alive —
+/// adequate for the coarse-grained pipelines in this workspace.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count governing every parallel
+    /// operation it performs.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_THREADS.with(|c| c.replace(self.num_threads));
+        let guard = RestoreThreads(prev);
+        let r = f();
+        drop(guard);
+        r
+    }
+
+    /// This pool's worker count.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+struct RestoreThreads(usize);
+
+impl Drop for RestoreThreads {
+    fn drop(&mut self) {
+        CURRENT_THREADS.with(|c| c.set(self.0));
+    }
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let inherited = current_num_threads();
+    if inherited <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        // Propagate the installed thread count into the spawned worker so
+        // parallel operations nested under `join` keep honouring it
+        // (thread-locals don't cross thread boundaries by themselves).
+        let hb = s.spawn(move || {
+            CURRENT_THREADS.with(|c| c.set(inherited));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// A materialised parallel iterator: holds its items and runs `map`
+/// across scoped worker threads.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item across the current thread count, keeping
+    /// item order. This is where the actual parallelism happens.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let inherited = current_num_threads();
+        let threads = inherited.min(self.items.len()).max(1);
+        if threads == 1 {
+            return ParIter {
+                items: self.items.into_iter().map(f).collect(),
+            };
+        }
+        let queue = Mutex::new(self.items.into_iter().enumerate());
+        let mut indexed: Vec<(usize, R)> = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        // Workers inherit the installed thread count so
+                        // nested parallel calls keep honouring it.
+                        CURRENT_THREADS.with(|c| c.set(inherited));
+                        let mut local = Vec::new();
+                        loop {
+                            let next = queue.lock().expect("queue poisoned").next();
+                            match next {
+                                Some((i, item)) => local.push((i, f(item))),
+                                None => break,
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("rayon worker panicked"))
+                .collect()
+        });
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        ParIter {
+            items: indexed.into_iter().map(|(_, r)| r).collect(),
+        }
+    }
+
+    /// Fold all items into one value. `identity` seeds the fold and is
+    /// also the result for an empty iterator.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Flatten nested containers, preserving order.
+    pub fn flatten<U>(self) -> ParIter<U>
+    where
+        T: IntoIterator<Item = U>,
+        U: Send,
+    {
+        ParIter {
+            items: self.items.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Collect the items into any `FromIterator` container.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Containers convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Convert into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing parallel iteration over slices (and anything derefing to a
+/// slice, e.g. `Vec`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T` items.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over non-overlapping chunks of length
+    /// `chunk_size` (last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be non-zero");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Glob-import module mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_and_runs_all() {
+        let v: Vec<usize> = (0..1000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| v.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_reduce_matches_sequential() {
+        let v: Vec<u64> = (1..=10_000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let total = pool.install(|| {
+            v.par_chunks(97)
+                .map(|c| c.iter().sum::<u64>())
+                .reduce(|| 0, |a, b| a + b)
+        });
+        assert_eq!(total, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn map_actually_uses_multiple_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids: std::collections::HashSet<std::thread::ThreadId> = pool.install(|| {
+            (0..64usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    std::thread::current().id()
+                })
+                .collect()
+        });
+        assert!(ids.len() > 1, "expected work on more than one thread");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.install(|| join(|| 1 + 1, || "x".repeat(3)));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn installed_thread_count_reaches_nested_parallelism() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            // Inside a spawned `join` branch.
+            let (_, seen_in_join) = join(|| (), current_num_threads);
+            assert_eq!(seen_in_join, 3);
+            // Inside `map` workers.
+            let seen: Vec<usize> = (0..8usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect();
+            assert!(seen.iter().all(|&n| n == 3), "{seen:?}");
+        });
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = current_num_threads();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = Vec::new();
+        assert_eq!(v.par_iter().map(|&x| x).reduce(|| 7, |a, b| a + b), 7);
+        let out: Vec<u32> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flatten_preserves_order() {
+        let v: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = v.par_chunks(7).map(|c| c.to_vec()).flatten().collect();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the subset of the `serde` API this workspace
+//! uses: the `Serialize` / `Deserialize` marker traits and their derive
+//! macros (see `vendor/README.md`).
+//!
+//! The workspace only *derives* these traits to mark types as
+//! serialisable for downstream consumers; no code serialises through
+//! them yet (JSON output goes through `serde_json::Value` directly), so
+//! the traits carry no methods here.
+
+#![warn(rust_2018_idioms)]
+
+/// Marker for types that can be serialised.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialised.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,41 @@
+//! Derive macros for the offline `serde` stand-in: emit a marker-trait
+//! impl for the annotated type (see `vendor/README.md`).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the `struct`/`enum` the derive is attached to.
+/// Only the simple shapes used in this workspace are supported: the
+/// emitted impl carries no generics, so deriving on a generic type is a
+/// compile error until this shim grows generics support.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde_derive shim: expected a struct or enum");
+}
+
+/// Derive the `Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
+
+/// Derive the `Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
