@@ -9,11 +9,20 @@
 //!   start instead of binary-searching the δ window (the paper's
 //!   "implementation trick" disabled, letting `ξ` grow to the full list
 //!   length).
+//! * [`stream_windowed`] vs [`stream_append_only`] — the eviction-cost
+//!   ablation for the sliding-window engine: the same chronological
+//!   stream through `WindowedCounter` (arrival counting **plus**
+//!   first-edge retirement at expiry) and through the append-only
+//!   `StreamingCounter` (arrival counting only). Their runtime gap is
+//!   the price of exact expiry; shrinking `window` towards `delta`
+//!   raises eviction churn without changing arrival cost.
 //!
-//! Both are exact (asserted by tests) — only their constants differ.
+//! All are exact (asserted by tests) — only their constants differ.
 
-use hare::counters::{PairCounter, StarCounter, TriCounter};
+use hare::counters::{MotifMatrix, PairCounter, StarCounter, TriCounter};
 use hare::motif::{StarType, TriType};
+use hare::streaming::StreamingCounter;
+use hare::windowed::WindowedCounter;
 use temporal_graph::util::FxHashMap;
 use temporal_graph::{Dir, NodeId, TemporalGraph, Timestamp};
 
@@ -98,6 +107,36 @@ pub fn fast_tri_linear(g: &TemporalGraph, delta: Timestamp) -> TriCounter {
     tri
 }
 
+/// Drive a whole graph's chronological edge stream through the
+/// sliding-window engine and return the final live-window counts. The
+/// eviction work (retire-at-expiry) scales with how often edges fall out
+/// of `window`, which is what the ablation varies.
+#[must_use]
+pub fn stream_windowed(
+    g: &TemporalGraph,
+    delta: Timestamp,
+    window: Timestamp,
+    slack: Timestamp,
+) -> MotifMatrix {
+    let mut wc = WindowedCounter::with_slack(delta, window, slack);
+    for e in g.edges() {
+        wc.push(e.src, e.dst, e.t).expect("chronological stream");
+    }
+    wc.flush();
+    wc.counts()
+}
+
+/// The no-eviction baseline: the same stream through the append-only
+/// streaming counter (full-history counts, no retirement work).
+#[must_use]
+pub fn stream_append_only(g: &TemporalGraph, delta: Timestamp) -> MotifMatrix {
+    let mut sc = StreamingCounter::new(delta);
+    for e in g.edges() {
+        sc.push(e.src, e.dst, e.t).expect("chronological stream");
+    }
+    sc.counts()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +166,20 @@ mod tests {
             fast_tri_linear(&g, delta),
             hare::fast_tri::fast_tri(&g, delta)
         );
+    }
+
+    #[test]
+    fn streaming_hooks_are_exact() {
+        let g = erdos_renyi_temporal(20, 600, 1_500, 5);
+        let delta = 200;
+        // Append-only and a wider-than-the-stream window both equal the
+        // full batch count.
+        let batch = hare::count_motifs(&g, delta).matrix;
+        assert_eq!(stream_append_only(&g, delta), batch);
+        let span = g.time_span() + 1;
+        assert_eq!(stream_windowed(&g, delta, span, 0), batch);
+        // A tight window equals batch over the trailing window.
+        let windowed = stream_windowed(&g, delta, delta, 0);
+        assert!(windowed.total() <= batch.total());
     }
 }

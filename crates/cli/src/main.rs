@@ -7,13 +7,19 @@
 //! hare-count --input edges.txt --delta 600 [--threads N] [--json]
 //! hare-count --dataset CollegeMsg --delta 600           # registry stand-in
 //! hare-count --input edges.txt --delta 600 --only pairs # FAST-Pair
+//! hare-count --input edges.txt --delta 600 --window 3600 --slack 60
+//!                                                       # sliding window
 //! ```
 
 use std::process::ExitCode;
 
+use hare::streaming::StreamError;
+use hare::windowed::WindowedCounter;
 use hare::{Hare, HareConfig, MotifCategory};
-use temporal_graph::io::{load_graph, LoadOptions};
+use temporal_graph::io::{load_edges, load_graph, LoadOptions};
 use temporal_graph::stats::GraphStats;
+use temporal_graph::util::FxHashMap;
+use temporal_graph::{NodeId, Timestamp};
 
 const USAGE: &str = "\
 hare-count: exact δ-temporal motif counting (FAST/HARE, ICDE 2022)
@@ -31,7 +37,16 @@ OPTIONS:
     --timestamp-col N   zero-based timestamp column (default 2)
     --json              machine-readable output
     --stats             print graph statistics only
+    --no-timing         omit wall-clock timing for byte-stable output
     --help              this text
+
+STREAMING (sliding-window) MODE:
+    --window SECONDS    enable streaming: exact counts over the trailing
+                        window W >= delta; emits one motif matrix per tick
+    --slack SECONDS     reorder slack: accept arrivals up to this far
+                        behind the newest timestamp (default 0); later
+                        arrivals are dropped and reported, not fatal
+    --tick SECONDS      tick interval in event time (default: the window)
 ";
 
 #[derive(Debug)]
@@ -45,6 +60,10 @@ struct Opts {
     timestamp_col: usize,
     json: bool,
     stats: bool,
+    no_timing: bool,
+    window: Option<i64>,
+    slack: i64,
+    tick: Option<i64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
@@ -58,6 +77,10 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         timestamp_col: 2,
         json: false,
         stats: false,
+        no_timing: false,
+        window: None,
+        slack: 0,
+        tick: None,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -94,6 +117,26 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             }
             "--json" => o.json = true,
             "--stats" => o.stats = true,
+            "--no-timing" => o.no_timing = true,
+            "--window" => {
+                o.window = Some(
+                    value("--window")?
+                        .parse()
+                        .map_err(|e| format!("--window: {e}"))?,
+                )
+            }
+            "--slack" => {
+                o.slack = value("--slack")?
+                    .parse()
+                    .map_err(|e| format!("--slack: {e}"))?
+            }
+            "--tick" => {
+                o.tick = Some(
+                    value("--tick")?
+                        .parse()
+                        .map_err(|e| format!("--tick: {e}"))?,
+                )
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -116,10 +159,175 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             o.only
         ));
     }
+    if let Some(w) = o.window {
+        let delta = o.delta.ok_or("--window requires --delta")?;
+        if w < delta {
+            return Err(format!("--window must be >= --delta ({w} < {delta})"));
+        }
+        if o.stats {
+            return Err("--stats is not supported with --window".into());
+        }
+        if o.only != "all" {
+            return Err("--only is not supported with --window".into());
+        }
+    }
+    if o.slack < 0 {
+        return Err("--slack must be non-negative".into());
+    }
+    if o.window.is_none() && (o.slack != 0 || o.tick.is_some()) {
+        return Err("--slack/--tick require --window".into());
+    }
+    if o.tick.is_some_and(|t| t < 1) {
+        return Err("--tick must be at least 1".into());
+    }
     Ok(o)
 }
 
+/// The arrival stream for `--window` mode: `(src, dst, t)` in delivery
+/// order (file order / generation order), ids compacted, self-loops kept
+/// so the engine's rejection policy is what drops them.
+fn load_stream(o: &Opts) -> Result<Vec<(NodeId, NodeId, Timestamp)>, String> {
+    match (&o.input, &o.dataset) {
+        (Some(path), None) => {
+            let opts = LoadOptions {
+                timestamp_column: o.timestamp_col,
+                ..LoadOptions::default()
+            };
+            let raw = load_edges(path, &opts).map_err(|e| format!("loading {path}: {e}"))?;
+            let mut remap: FxHashMap<u64, NodeId> = FxHashMap::default();
+            let mut intern = |x: u64| -> NodeId {
+                let next = remap.len() as NodeId;
+                *remap.entry(x).or_insert(next)
+            };
+            Ok(raw
+                .into_iter()
+                .map(|(s, d, t)| (intern(s), intern(d), t))
+                .collect())
+        }
+        (None, Some(name)) => {
+            let g = hare_datasets::by_name(name)
+                .ok_or_else(|| {
+                    let names: Vec<&str> = hare_datasets::all().iter().map(|d| d.name).collect();
+                    format!("unknown dataset {name:?}; known: {}", names.join(", "))
+                })?
+                .generate(o.scale);
+            Ok(g.edges().iter().map(|e| (e.src, e.dst, e.t)).collect())
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+}
+
+/// Cumulative drop statistics of a streaming run.
+#[derive(Debug, Default)]
+struct DropStats {
+    late: u64,
+    self_loops: u64,
+}
+
+fn emit_tick(o: &Opts, wc: &WindowedCounter, tick_t: Timestamp, drops: &DropStats) {
+    let matrix = wc.counts();
+    if o.json {
+        let cells: Vec<serde_json::Value> = matrix
+            .iter()
+            .map(|(m, n)| serde_json::json!({"motif": m.to_string(), "count": n}))
+            .collect();
+        println!(
+            "{}",
+            serde_json::json!({
+                "tick": tick_t,
+                "delta": wc.delta(),
+                "window": wc.window(),
+                "slack": wc.slack(),
+                "live_edges": wc.live_edges(),
+                "late_dropped": drops.late,
+                "self_loops_dropped": drops.self_loops,
+                "total": matrix.total(),
+                "counts": cells,
+            })
+        );
+    } else {
+        println!(
+            "tick t={tick_t} | live edges {} | total motifs {} | late dropped {}",
+            wc.live_edges(),
+            matrix.total(),
+            drops.late
+        );
+        println!("{matrix}");
+    }
+}
+
+/// Sliding-window streaming mode: feed the arrival stream through a
+/// `WindowedCounter`, emitting the live-window motif matrix at every
+/// event-time tick boundary and once more at the final watermark.
+fn run_stream(o: &Opts) -> Result<(), String> {
+    let delta = o.delta.expect("validated");
+    let window = o.window.expect("streaming mode");
+    let tick = o.tick.unwrap_or_else(|| window.max(1));
+    let arrivals = load_stream(o)?;
+
+    let mut wc = WindowedCounter::with_slack(delta, window, o.slack);
+    let mut drops = DropStats::default();
+    let mut next_boundary: Option<Timestamp> = None;
+    let mut max_accepted: Option<Timestamp> = None;
+    for &(src, dst, t) in &arrivals {
+        // Drop self-loops before the boundary catch-up below: their
+        // timestamp must not advance the ticks (a rejected arrival far
+        // in the future would otherwise emit spurious empty ticks and
+        // raise the acceptance floor past still-valid in-slack edges).
+        if src == dst {
+            drops.self_loops += 1;
+            continue;
+        }
+        // Emit every boundary the stream has safely passed: a boundary B
+        // is final once an arrival exceeds B + slack (nothing at or
+        // before B can arrive any more). Late arrivals can't reach here
+        // with t beyond a pending boundary's slack (they are below the
+        // acceptance floor, which trails the last accepted timestamp).
+        while let Some(boundary) = next_boundary {
+            if t <= boundary + o.slack {
+                break;
+            }
+            wc.advance_to(boundary);
+            emit_tick(o, &wc, boundary, &drops);
+            next_boundary = Some(boundary + tick);
+        }
+        match wc.push(src, dst, t) {
+            Ok(()) => {
+                max_accepted = Some(max_accepted.map_or(t, |m| m.max(t)));
+                if next_boundary.is_none() {
+                    next_boundary = Some(t + tick);
+                }
+            }
+            Err(StreamError::OutOfOrder { .. }) => drops.late += 1,
+            Err(StreamError::SelfLoop) => drops.self_loops += 1,
+        }
+    }
+    if let Some(final_t) = max_accepted {
+        // Drain the trailing boundaries *before* the final flush:
+        // advance_to(B) processes exactly the buffered arrivals with
+        // t <= B, so each tick still reports the window as of B (a
+        // flush first would fast-forward the watermark past them).
+        while let Some(boundary) = next_boundary {
+            if boundary >= final_t {
+                break;
+            }
+            wc.advance_to(boundary);
+            emit_tick(o, &wc, boundary, &drops);
+            next_boundary = Some(boundary + tick);
+        }
+        wc.flush();
+        // Final tick at the end-of-stream watermark.
+        emit_tick(o, &wc, final_t, &drops);
+    } else if !o.json {
+        println!("empty stream: nothing to count");
+    }
+    Ok(())
+}
+
 fn run(o: &Opts) -> Result<(), String> {
+    if o.window.is_some() {
+        return run_stream(o);
+    }
     let graph = match (&o.input, &o.dataset) {
         (Some(path), None) => {
             let opts = LoadOptions {
@@ -197,22 +405,33 @@ fn run(o: &Opts) -> Result<(), String> {
             .iter()
             .map(|(m, n)| serde_json::json!({"motif": m.to_string(), "count": n}))
             .collect();
-        println!(
-            "{}",
-            serde_json::json!({
-                "delta": delta,
-                "nodes": stats.num_nodes,
-                "edges": stats.num_edges,
-                "seconds": secs,
-                "total": matrix.total(),
-                "counts": cells,
-            })
-        );
+        let mut obj = serde_json::json!({
+            "delta": delta,
+            "nodes": stats.num_nodes,
+            "edges": stats.num_edges,
+        });
+        if let Some(map) = obj.as_object_mut() {
+            // Timing is the one nondeterministic field; --no-timing omits
+            // it so output is byte-stable (golden-file tests rely on it).
+            if !o.no_timing {
+                map.insert("seconds".into(), serde_json::Value::from(secs));
+            }
+            map.insert("total".into(), serde_json::Value::from(matrix.total()));
+            map.insert("counts".into(), serde_json::Value::from(cells));
+        }
+        println!("{obj}");
     } else {
-        println!(
-            "graph: {} nodes, {} edges | delta = {delta}s | counted in {:.3}s",
-            stats.num_nodes, stats.num_edges, secs
-        );
+        if o.no_timing {
+            println!(
+                "graph: {} nodes, {} edges | delta = {delta}s",
+                stats.num_nodes, stats.num_edges
+            );
+        } else {
+            println!(
+                "graph: {} nodes, {} edges | delta = {delta}s | counted in {:.3}s",
+                stats.num_nodes, stats.num_edges, secs
+            );
+        }
         println!("{matrix}");
         for (label, cat) in [
             ("pair", MotifCategory::Pair),
@@ -303,6 +522,72 @@ mod tests {
     #[test]
     fn help_flag_yields_empty_error() {
         assert_eq!(parse_args(&args(&["--help"])).unwrap_err(), "");
+    }
+
+    #[test]
+    fn parses_streaming_flags() {
+        let o = parse_args(&args(&[
+            "--input", "x.txt", "--delta", "600", "--window", "3600", "--slack", "60", "--tick",
+            "300",
+        ]))
+        .unwrap();
+        assert_eq!(o.window, Some(3600));
+        assert_eq!(o.slack, 60);
+        assert_eq!(o.tick, Some(300));
+    }
+
+    #[test]
+    fn rejects_bad_streaming_combinations() {
+        // window below delta
+        let e =
+            parse_args(&args(&["--input", "x", "--delta", "600", "--window", "10"])).unwrap_err();
+        assert!(e.contains("--window"), "{e}");
+        // window without delta
+        assert!(parse_args(&args(&["--input", "x", "--window", "10", "--stats"])).is_err());
+        // slack/tick without window
+        assert!(parse_args(&args(&["--input", "x", "--delta", "1", "--slack", "5"])).is_err());
+        assert!(parse_args(&args(&["--input", "x", "--delta", "1", "--tick", "5"])).is_err());
+        // streaming is exclusive with --stats and --only
+        assert!(parse_args(&args(&[
+            "--input", "x", "--delta", "1", "--window", "5", "--stats"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--input", "x", "--delta", "1", "--window", "5", "--only", "pairs"
+        ]))
+        .is_err());
+        // negative slack, zero tick
+        assert!(parse_args(&args(&[
+            "--input", "x", "--delta", "1", "--window", "5", "--slack", "-1"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--input", "x", "--delta", "1", "--window", "5", "--tick", "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn no_timing_flag_parses() {
+        let o = parse_args(&args(&["--input", "x", "--delta", "1", "--no-timing"])).unwrap();
+        assert!(o.no_timing);
+    }
+
+    #[test]
+    fn streaming_mode_runs_on_registry_dataset() {
+        let o = parse_args(&args(&[
+            "--dataset",
+            "CollegeMsg",
+            "--scale",
+            "8",
+            "--delta",
+            "600",
+            "--window",
+            "86400",
+            "--json",
+        ]))
+        .unwrap();
+        run(&o).unwrap();
     }
 
     #[test]

@@ -172,6 +172,333 @@ fn stats_mode_reports_graph_shape_without_delta() {
     assert!(v["max_degree"].as_u64().unwrap() > 0);
 }
 
+/// A per-test unique temp dir (concurrent test runs must not race).
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hare_cli_e2e_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn golden_fig1_json_is_byte_identical() {
+    // `--json --no-timing` output is deterministic; the checked-in golden
+    // file pins it byte-for-byte (field order, number formatting, all 36
+    // cells — including the paper's "exactly one M65 at delta=10").
+    let data = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/fig1.txt");
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/fig1_delta10.json"
+    );
+    let out = hare_count(&["--input", data, "--delta", "10", "--json", "--no-timing"]);
+    assert!(out.status.success());
+    let expected = std::fs::read(golden).expect("golden file present");
+    assert_eq!(
+        out.stdout,
+        expected,
+        "fig1 golden mismatch:\n got: {}\nwant: {}",
+        stdout_of(&out),
+        String::from_utf8_lossy(&expected)
+    );
+}
+
+#[test]
+fn golden_collegemsg_json_is_byte_identical() {
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/collegemsg_scale8_delta600.json"
+    );
+    let out = hare_count(&[
+        "--dataset",
+        "CollegeMsg",
+        "--scale",
+        "8",
+        "--delta",
+        "600",
+        "--json",
+        "--no-timing",
+    ]);
+    assert!(out.status.success());
+    let expected = std::fs::read(golden).expect("golden file present");
+    assert_eq!(
+        out.stdout,
+        expected,
+        "CollegeMsg golden mismatch:\n got: {}\nwant: {}",
+        stdout_of(&out),
+        String::from_utf8_lossy(&expected)
+    );
+}
+
+#[test]
+fn malformed_input_reports_line_number_and_fails() {
+    let dir = temp_dir("malformed");
+    let path = dir.join("bad.txt");
+    std::fs::write(&path, "0 1 10\n1 2 twelve\n2 0 14\n").unwrap();
+    let out = hare_count(&["--input", path.to_str().unwrap(), "--delta", "600"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("line 2"), "{err}");
+    assert!(err.contains("twelve"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_line_is_a_parse_error() {
+    let dir = temp_dir("truncated");
+    let path = dir.join("short.txt");
+    std::fs::write(&path, "0 1\n").unwrap();
+    let out = hare_count(&["--input", path.to_str().unwrap(), "--delta", "600"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("line 1"), "{err}");
+    assert!(err.contains("fields"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn empty_input_file_counts_nothing() {
+    let dir = temp_dir("empty");
+    let path = dir.join("empty.txt");
+    std::fs::write(&path, "").unwrap();
+    let out = hare_count(&[
+        "--input",
+        path.to_str().unwrap(),
+        "--delta",
+        "600",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8(out.stderr.clone()).unwrap()
+    );
+    let v = serde_json::from_str(stdout_of(&out).trim()).unwrap();
+    assert_eq!(v["nodes"].as_u64(), Some(0));
+    assert_eq!(v["edges"].as_u64(), Some(0));
+    assert_eq!(v["total"].as_u64(), Some(0));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn non_monotone_input_is_sorted_for_batch_counting() {
+    // The same edges in shuffled vs chronological file order must count
+    // identically in batch mode (the builder's stable sort normalises).
+    let dir = temp_dir("nonmono");
+    let shuffled = dir.join("shuffled.txt");
+    let sorted = dir.join("sorted.txt");
+    std::fs::write(&shuffled, "2 0 14\n0 1 10\n1 2 12\n").unwrap();
+    std::fs::write(&sorted, "0 1 10\n1 2 12\n2 0 14\n").unwrap();
+    let run = |p: &std::path::Path| {
+        let out = hare_count(&[
+            "--input",
+            p.to_str().unwrap(),
+            "--delta",
+            "600",
+            "--json",
+            "--no-timing",
+        ]);
+        assert!(out.status.success());
+        stdout_of(&out)
+    };
+    assert_eq!(run(&shuffled), run(&sorted));
+    std::fs::remove_file(&shuffled).ok();
+    std::fs::remove_file(&sorted).ok();
+}
+
+#[test]
+fn windowed_mode_emits_one_json_object_per_tick() {
+    // Two triangle bursts 500s apart with a 100s window: the first burst
+    // must be present at the first tick and expired by the later ones.
+    let dir = temp_dir("windowed");
+    let path = dir.join("stream.txt");
+    std::fs::write(&path, "0 1 10\n1 2 12\n2 0 14\n0 1 500\n1 2 505\n2 0 509\n").unwrap();
+    let out = hare_count(&[
+        "--input",
+        path.to_str().unwrap(),
+        "--delta",
+        "20",
+        "--window",
+        "100",
+        "--tick",
+        "100",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8(out.stderr.clone()).unwrap()
+    );
+    let text = stdout_of(&out);
+    let ticks: Vec<serde_json::Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("each tick is one JSON object"))
+        .collect();
+    assert!(ticks.len() >= 2, "expected multiple ticks:\n{text}");
+    for v in &ticks {
+        assert_eq!(v["delta"].as_i64(), Some(20));
+        assert_eq!(v["window"].as_i64(), Some(100));
+        assert_eq!(v["counts"].as_array().unwrap().len(), 36);
+        assert_eq!(v["late_dropped"].as_u64(), Some(0));
+    }
+    let m26_of = |v: &serde_json::Value| -> u64 {
+        v["counts"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c["motif"].as_str() == Some("M26"))
+            .and_then(|c| c["count"].as_u64())
+            .unwrap()
+    };
+    // First tick sees the first cycle; the final tick sees only the
+    // second one (the first expired with its edges).
+    assert_eq!(m26_of(&ticks[0]), 1, "{text}");
+    assert_eq!(ticks[0]["live_edges"].as_u64(), Some(3));
+    let last = ticks.last().unwrap();
+    assert_eq!(m26_of(last), 1);
+    assert_eq!(last["total"].as_u64(), Some(1));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn windowed_mode_slack_reorders_and_drops_late_edges() {
+    // t=95 arrives after t=100 (inside slack 10: reordered and kept);
+    // t=10 arrives at the end (far beyond slack: dropped, not fatal).
+    let dir = temp_dir("slack");
+    let path = dir.join("ooo.txt");
+    std::fs::write(&path, "0 1 100\n1 2 95\n2 0 103\n3 4 10\n").unwrap();
+    let out = hare_count(&[
+        "--input",
+        path.to_str().unwrap(),
+        "--delta",
+        "20",
+        "--window",
+        "50",
+        "--slack",
+        "10",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8(out.stderr.clone()).unwrap()
+    );
+    let text = stdout_of(&out);
+    let last: serde_json::Value = serde_json::from_str(text.lines().last().unwrap()).unwrap();
+    assert_eq!(last["late_dropped"].as_u64(), Some(1), "{text}");
+    assert_eq!(last["live_edges"].as_u64(), Some(3), "{text}");
+    // The reordered triple (1->2 @95, 0->1 @100, 2->0 @103) is a
+    // triangle instance — in this chronological order, class M25. Had
+    // the late edge been dropped instead of reordered, no 3-edge motif
+    // would exist at all, so total == 1 pins the reordering.
+    let m25 = last["counts"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|c| c["motif"].as_str() == Some("M25"))
+        .and_then(|c| c["count"].as_u64())
+        .unwrap();
+    assert_eq!(m25, 1, "{text}");
+    assert_eq!(last["total"].as_u64(), Some(1), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn windowed_mode_self_loop_timestamp_does_not_advance_ticks() {
+    // Regression: a dropped self-loop at a far-future timestamp must not
+    // emit spurious ticks or raise the acceptance floor — the in-slack
+    // edges after it stay accepted and form the triangle.
+    let dir = temp_dir("loop_ts");
+    let path = dir.join("loopy.txt");
+    std::fs::write(&path, "0 1 100\n5 5 200\n1 2 95\n2 0 103\n").unwrap();
+    let out = hare_count(&[
+        "--input",
+        path.to_str().unwrap(),
+        "--delta",
+        "20",
+        "--window",
+        "50",
+        "--slack",
+        "10",
+        "--tick",
+        "5",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8(out.stderr.clone()).unwrap()
+    );
+    let text = stdout_of(&out);
+    let ticks: Vec<serde_json::Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    let last = ticks.last().unwrap();
+    assert_eq!(last["self_loops_dropped"].as_u64(), Some(1), "{text}");
+    assert_eq!(last["late_dropped"].as_u64(), Some(0), "{text}");
+    assert_eq!(last["tick"].as_i64(), Some(103), "{text}");
+    assert_eq!(last["live_edges"].as_u64(), Some(3), "{text}");
+    assert_eq!(last["total"].as_u64(), Some(1), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn windowed_mode_trailing_ticks_respect_their_boundary() {
+    // Regression: trailing boundaries must be drained before the final
+    // flush — each tick reports the window as of its own boundary, not
+    // end-of-stream counts. At tick 80 the in-slack edges at t=95/t=100
+    // are still in the future, so the window holds only the edge at t=50.
+    let dir = temp_dir("trailing");
+    let path = dir.join("tail.txt");
+    std::fs::write(&path, "0 1 0\n4 5 50\n1 2 100\n2 3 95\n").unwrap();
+    let out = hare_count(&[
+        "--input",
+        path.to_str().unwrap(),
+        "--delta",
+        "20",
+        "--window",
+        "50",
+        "--slack",
+        "20",
+        "--tick",
+        "80",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8(out.stderr.clone()).unwrap()
+    );
+    let text = stdout_of(&out);
+    let ticks: Vec<serde_json::Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    let at_80 = ticks
+        .iter()
+        .find(|v| v["tick"].as_i64() == Some(80))
+        .unwrap_or_else(|| panic!("no tick at 80:\n{text}"));
+    assert_eq!(at_80["live_edges"].as_u64(), Some(1), "{text}");
+    let last = ticks.last().unwrap();
+    assert_eq!(last["tick"].as_i64(), Some(100), "{text}");
+    assert_eq!(last["live_edges"].as_u64(), Some(3), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn windowed_mode_requires_window_at_least_delta() {
+    let out = hare_count(&[
+        "--dataset",
+        "CollegeMsg",
+        "--delta",
+        "600",
+        "--window",
+        "10",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--window"), "{err}");
+}
+
 #[test]
 fn input_file_path_end_to_end() {
     // A triangle within δ plus one far-away edge, through a temp file.

@@ -27,6 +27,14 @@ impl StarCounter {
         self.cells[ty.index()][d1.index()][d2.index()][d3.index()] += n;
     }
 
+    /// Subtract `n` from `Star[ty, d1, d2, d3]` (used by windowed counting
+    /// to retire expired instances; the caller guarantees `n` was added
+    /// earlier, so the cell never goes negative).
+    #[inline]
+    pub fn sub(&mut self, ty: StarType, d1: Dir, d2: Dir, d3: Dir, n: u64) {
+        self.cells[ty.index()][d1.index()][d2.index()][d3.index()] -= n;
+    }
+
     /// Element-wise accumulate another counter (used to reduce per-thread
     /// partials in HARE).
     pub fn merge(&mut self, other: &StarCounter) {
@@ -88,6 +96,14 @@ impl PairCounter {
     #[inline]
     pub fn add(&mut self, d1: Dir, d2: Dir, d3: Dir, n: u64) {
         self.cells[d1.index()][d2.index()][d3.index()] += n;
+    }
+
+    /// Subtract `n` from `Pair[d1, d2, d3]` (used by windowed counting to
+    /// retire expired instances; the caller guarantees `n` was added
+    /// earlier, so the cell never goes negative).
+    #[inline]
+    pub fn sub(&mut self, d1: Dir, d2: Dir, d3: Dir, n: u64) {
+        self.cells[d1.index()][d2.index()][d3.index()] -= n;
     }
 
     /// Element-wise accumulate another counter.
@@ -269,6 +285,14 @@ impl MotifMatrix {
         self.counts[m.row() as usize - 1][m.col() as usize - 1] += n;
     }
 
+    /// Subtract from the count of the given motif (used by windowed
+    /// counting to retire expired instances; the caller guarantees `n` was
+    /// added earlier, so the cell never goes negative).
+    #[inline]
+    pub fn sub(&mut self, m: Motif, n: u64) {
+        self.counts[m.row() as usize - 1][m.col() as usize - 1] -= n;
+    }
+
     /// Element-wise sum.
     pub fn merge(&mut self, other: &MotifMatrix) {
         for r in 0..6 {
@@ -386,6 +410,22 @@ mod tests {
         assert_eq!(a.get(StarType::I, In, Out, In), 5);
         assert_eq!(a.get(StarType::III, Out, Out, Out), 5);
         assert_eq!(a.total(), 10);
+    }
+
+    #[test]
+    fn counters_subtract_what_was_added() {
+        let mut s = StarCounter::default();
+        s.add(StarType::II, Out, In, Out, 5);
+        s.sub(StarType::II, Out, In, Out, 3);
+        assert_eq!(s.get(StarType::II, Out, In, Out), 2);
+        let mut p = PairCounter::default();
+        p.add(In, In, Out, 4);
+        p.sub(In, In, Out, 4);
+        assert_eq!(p.total(), 0);
+        let mut mx = MotifMatrix::default();
+        mx.add(m(2, 6), 7);
+        mx.sub(m(2, 6), 6);
+        assert_eq!(mx.get(m(2, 6)), 1);
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! * [`Hare`] — the hierarchical parallel framework (§IV.C): inter-node
 //!   work stealing for the long tail plus intra-node splitting for hub
 //!   nodes above a degree threshold.
+//! * [`streaming::StreamingCounter`] — exact incremental counts over an
+//!   append-only chronological edge stream.
+//! * [`windowed::WindowedCounter`] — exact counts over a sliding time
+//!   window: edges expire, motif instances are retired with them, and a
+//!   bounded reorder buffer absorbs slightly out-of-order arrivals.
 //!
 //! ## Quickstart
 //!
@@ -59,12 +64,14 @@ pub mod motif;
 pub mod scratch;
 pub mod streaming;
 pub mod sweep;
+pub mod windowed;
 pub mod windows;
 
 pub use counters::{MotifCounts, MotifMatrix, PairCounter, StarCounter, TriCounter};
 pub use hare::{DegreeThreshold, Hare, HareConfig, Scheduling};
 pub use motif::{Motif, MotifCategory, StarType, TriType};
 pub use scratch::NeighborScratch;
+pub use windowed::WindowedCounter;
 
 use temporal_graph::{TemporalGraph, Timestamp};
 

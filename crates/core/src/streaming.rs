@@ -27,14 +27,20 @@ use crate::motif::{classify_instance, StarType};
 use temporal_graph::util::FxHashMap;
 use temporal_graph::{Dir, NodeId, TemporalEdge, Timestamp};
 
-/// Error returned by [`StreamingCounter::push`].
+/// Error returned by [`StreamingCounter::push`] and
+/// [`crate::windowed::WindowedCounter::push`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StreamError {
-    /// Timestamps must be non-decreasing.
+    /// The edge arrived too late. [`StreamingCounter`] requires
+    /// non-decreasing timestamps (equal timestamps are fine; only a
+    /// *strictly smaller* one is rejected); the windowed counter rejects
+    /// arrivals below its acceptance floor (reorder slack / watermark).
     OutOfOrder {
         /// Timestamp of the rejected edge.
         got: Timestamp,
-        /// Latest timestamp accepted so far.
+        /// Earliest acceptable timestamp: the latest timestamp accepted
+        /// so far (append-only streaming) or the acceptance floor
+        /// (windowed).
         last: Timestamp,
     },
     /// Self-loops cannot participate in motifs and are rejected.
@@ -65,9 +71,10 @@ struct StreamEvent {
 /// Exact incremental counter over a chronological edge stream.
 ///
 /// `delta` is fixed at construction; counts grow monotonically as edges
-/// arrive. Memory holds the full event history (windowed eviction would
-/// be a straightforward extension; kept simple here so the streaming
-/// counts are checkable against batch runs over the same history).
+/// arrive. Memory holds the full event history, so the streaming counts
+/// are checkable against batch runs over the same history; for bounded
+/// memory and counts over a sliding window, use
+/// [`crate::windowed::WindowedCounter`].
 #[derive(Debug, Clone)]
 pub struct StreamingCounter {
     delta: Timestamp,
@@ -112,6 +119,27 @@ impl StreamingCounter {
     }
 
     /// Ingest one edge; timestamps must be non-decreasing.
+    ///
+    /// An edge timestamped *equal* to the latest accepted timestamp is
+    /// accepted — ties are broken by arrival order, the same stable
+    /// `(t, input position)` total order batch counting uses — so only a
+    /// strictly decreasing timestamp is rejected:
+    ///
+    /// ```
+    /// use hare::streaming::{StreamError, StreamingCounter};
+    /// let mut sc = StreamingCounter::new(10);
+    /// sc.push(0, 1, 100).unwrap();
+    /// sc.push(1, 2, 100).unwrap(); // equal timestamp: accepted
+    /// assert_eq!(
+    ///     sc.push(2, 0, 99), // strictly earlier: rejected
+    ///     Err(StreamError::OutOfOrder { got: 99, last: 100 })
+    /// );
+    /// ```
+    ///
+    /// # Errors
+    /// [`StreamError::OutOfOrder`] if `t` is strictly smaller than the
+    /// latest accepted timestamp; [`StreamError::SelfLoop`] if
+    /// `src == dst`.
     pub fn push(&mut self, src: NodeId, dst: NodeId, t: Timestamp) -> Result<(), StreamError> {
         if src == dst {
             return Err(StreamError::SelfLoop);
@@ -352,6 +380,24 @@ mod tests {
         // Counter still usable afterwards.
         sc.push(1, 2, 100).unwrap();
         assert_eq!(sc.num_edges(), 2);
+    }
+
+    #[test]
+    fn equal_timestamps_are_accepted_only_decreasing_rejected() {
+        // Pins the documented boundary: push accepts t == last and
+        // rejects only t < last.
+        let mut sc = StreamingCounter::new(10);
+        sc.push(0, 1, 100).unwrap();
+        sc.push(1, 2, 100).unwrap();
+        sc.push(2, 3, 100).unwrap();
+        assert_eq!(sc.num_edges(), 3);
+        assert_eq!(
+            sc.push(3, 4, 99),
+            Err(StreamError::OutOfOrder { got: 99, last: 100 })
+        );
+        // The rejection did not disturb the accepted prefix.
+        sc.push(3, 4, 100).unwrap();
+        assert_eq!(sc.num_edges(), 4);
     }
 
     #[test]

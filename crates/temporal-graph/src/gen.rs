@@ -246,6 +246,76 @@ pub fn hub_burst(spokes: usize, events: usize, time_span: Timestamp, seed: u64) 
     b.build()
 }
 
+/// Reusable `proptest` strategies over temporal-graph inputs, shared by
+/// the property and differential test suites across the workspace
+/// (`tests/property_invariants.rs`, `tests/windowed_vs_batch.rs`).
+///
+/// All strategies deliberately favour *adversarial* shapes for counting
+/// code: few nodes (dense multi-edges), narrow timestamp ranges (heavy
+/// ties and bursts), and raw `(src, dst, t)` triples that may contain
+/// self-loops and duplicates so ingestion policies get exercised too.
+pub mod arb {
+    use super::{NodeId, TemporalEdge, TemporalGraph, Timestamp};
+    use crate::builder::GraphBuilder;
+    use proptest::prelude::*;
+
+    /// Raw `(src, dst, t)` triples: up to `max_edges` edges over
+    /// `max_nodes` nodes with timestamps in `0..max_t`. May contain
+    /// self-loops and exact duplicates.
+    pub fn raw_triples(
+        max_nodes: u32,
+        max_edges: usize,
+        max_t: Timestamp,
+    ) -> impl Strategy<Value = Vec<(NodeId, NodeId, Timestamp)>> {
+        assert!(max_nodes >= 1 && max_edges >= 1 && max_t >= 1);
+        prop::collection::vec((0..max_nodes, 0..max_nodes, 0..max_t), 0..max_edges)
+    }
+
+    /// Chronologically sorted edge lists (self-loops removed, ties kept
+    /// in generation order) — the shape accepted by the in-order
+    /// streaming counters.
+    pub fn sorted_edges(
+        max_nodes: u32,
+        max_edges: usize,
+        max_t: Timestamp,
+    ) -> impl Strategy<Value = Vec<TemporalEdge>> {
+        raw_triples(max_nodes, max_edges, max_t).prop_map(|mut triples| {
+            triples.retain(|&(s, d, _)| s != d);
+            triples.sort_by_key(|&(_, _, t)| t);
+            triples
+                .into_iter()
+                .map(|(s, d, t)| TemporalEdge::new(s, d, t))
+                .collect()
+        })
+    }
+
+    /// Arbitrary small temporal multigraphs (self-loops dropped by the
+    /// builder, heavy timestamp ties).
+    pub fn graph(
+        max_nodes: u32,
+        max_edges: usize,
+        max_t: Timestamp,
+    ) -> impl Strategy<Value = TemporalGraph> {
+        raw_triples(max_nodes, max_edges, max_t).prop_map(|triples| {
+            let mut b = GraphBuilder::new();
+            for (s, d, t) in triples {
+                b.add_edge(s, d, t);
+            }
+            b.build()
+        })
+    }
+
+    /// A `(delta, window)` pair with `delta <= window`, covering the
+    /// degenerate `window == delta` case often.
+    pub fn delta_window(
+        max_delta: Timestamp,
+        max_extra: Timestamp,
+    ) -> impl Strategy<Value = (Timestamp, Timestamp)> {
+        assert!(max_delta >= 1 && max_extra >= 1);
+        (0..max_delta, 0..max_extra).prop_map(|(delta, extra)| (delta, delta + extra))
+    }
+}
+
 /// Build the exact toy temporal graph of the paper's Fig. 1
 /// (nodes: a=0, b=1, c=2, d=3, e=4; 12 temporal edges; δ=10s examples).
 #[must_use]

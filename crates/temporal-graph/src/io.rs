@@ -286,6 +286,37 @@ mod tests {
     }
 
     #[test]
+    fn empty_input_yields_no_edges_and_an_empty_graph() {
+        let edges = parse("").unwrap();
+        assert!(edges.is_empty());
+        // Comment-only input is just as empty.
+        let edges = parse("# nothing\n% here\n\n").unwrap();
+        assert!(edges.is_empty());
+        let g = graph_from_raw(edges, &LoadOptions::default());
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn non_monotone_input_parses_in_file_order_and_builds_sorted() {
+        // The reader preserves delivery order (streaming callers need
+        // it); the builder then normalises to chronological order.
+        let raw = parse("1 2 300\n2 3 100\n1 3 200\n").unwrap();
+        assert_eq!(raw, vec![(1, 2, 300), (2, 3, 100), (1, 3, 200)]);
+        let g = graph_from_raw(raw, &LoadOptions::default());
+        let times: Vec<_> = g.edges().iter().map(|e| e.t).collect();
+        assert_eq!(times, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn error_on_bad_node_id() {
+        let err = parse("alice 2 3\n").unwrap_err();
+        assert!(err.to_string().contains("alice"), "{err}");
+        let err = parse("1 -7 3\n").unwrap_err();
+        assert!(err.to_string().contains("-7"), "{err}");
+    }
+
+    #[test]
     fn graph_roundtrip_through_text() {
         let g = graph_from_raw(
             vec![(100, 200, 5), (200, 300, 1), (100, 200, 5)],

@@ -1,0 +1,114 @@
+//! Online anomaly detection with the sliding-window engine.
+//!
+//! The `anomaly_detection` example rebuilds a one-day graph and recounts
+//! it from scratch for every window — fine offline, wasteful online.
+//! This version consumes the same fraud-ring stream **once**, through
+//! `WindowedCounter` with a one-day window: each edge is counted on
+//! arrival and retired on expiry, and at every day boundary we read off
+//! the live window's motif fingerprint in O(1) extra work. The day-20
+//! burst of cyclic transfers (a → b → c → a) again lights up the M26
+//! cell while staying invisible in raw edge volume.
+//!
+//! ```text
+//! cargo run --release -p hare-examples --example windowed_anomaly
+//! ```
+
+use hare::windowed::WindowedCounter;
+use hare::Motif;
+use temporal_graph::Timestamp;
+
+const DAY: Timestamp = 86_400;
+const DAYS: i64 = 30;
+const ANOMALY_DAY: i64 = 20;
+
+/// Background traffic plus an injected fraud ring on `ANOMALY_DAY`,
+/// emitted in chronological order (the shape a real feed would have).
+fn build_stream() -> Vec<(u32, u32, Timestamp)> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let users = 400u32;
+    let mut edges: Vec<(u32, u32, Timestamp)> = Vec::new();
+
+    // Normal traffic: conversations between random users, ~2k edges/day.
+    for day in 0..DAYS {
+        for _ in 0..2_000 {
+            let u = rng.gen_range(0..users);
+            let mut v = rng.gen_range(0..users);
+            while v == u {
+                v = rng.gen_range(0..users);
+            }
+            let t = day * DAY + rng.gen_range(0..DAY);
+            edges.push((u, v, t));
+            if rng.gen_bool(0.3) {
+                edges.push((v, u, t + rng.gen_range(1..600)));
+            }
+        }
+    }
+
+    // The fraud ring: 3-node cycles completed within minutes, all day.
+    let ring = [17u32, 211, 342];
+    for k in 0..300 {
+        let t0 = ANOMALY_DAY * DAY + k * 250;
+        edges.push((ring[0], ring[1], t0));
+        edges.push((ring[1], ring[2], t0 + 60));
+        edges.push((ring[2], ring[0], t0 + 140));
+    }
+    edges.sort_by_key(|&(_, _, t)| t);
+    edges
+}
+
+fn main() {
+    let delta = 600; // 10-minute motif window, as in the paper's tables
+    let m26 = Motif::new(2, 6);
+    let stream = build_stream();
+
+    // One-day sliding window; a little slack would absorb feed jitter
+    // (the synthetic stream is pre-sorted, so 0 is enough here).
+    let mut wc = WindowedCounter::new(delta, DAY);
+
+    println!("day | total 3-edge motifs | cyclic triangles (M26) | z-score | verdict");
+    println!("{:-<78}", "");
+
+    let mut history: Vec<f64> = Vec::new();
+    let mut next = stream.iter().peekable();
+    for day in 0..DAYS {
+        let boundary = (day + 1) * DAY;
+        while let Some(&&(u, v, t)) = next.peek() {
+            if t >= boundary {
+                break;
+            }
+            wc.push(u, v, t).expect("chronological stream");
+            next.next();
+        }
+        // Tick: snap the window to exactly this day's end and read the
+        // live fingerprint (no recount — arrival/expiry already paid).
+        wc.advance_to(boundary - 1);
+        let counts = wc.counts();
+        let cycles = counts.get(m26) as f64;
+
+        // Trailing z-score against the history so far (needs >= 5 days).
+        let verdict = if history.len() >= 5 {
+            let mean = history.iter().sum::<f64>() / history.len() as f64;
+            let var =
+                history.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / history.len() as f64;
+            let z = (cycles - mean) / var.sqrt().max(1.0);
+            let flag = if z > 4.0 { "<<< ANOMALY" } else { "" };
+            format!("{z:>7.2} | {flag}")
+        } else {
+            "   warm-up".to_string()
+        };
+        println!(
+            "{day:>3} | {:>19} | {:>22} | {verdict}",
+            counts.total(),
+            cycles as u64
+        );
+        history.push(cycles);
+    }
+
+    println!(
+        "\nSame verdicts as the batch-recount example, but the stream was\n\
+         consumed once: {} edges in, one O(d^delta) update per arrival and\n\
+         per expiry, never more than one day of history in memory.",
+        stream.len()
+    );
+}

@@ -119,6 +119,35 @@ proptest! {
         }
     }
 
+    /// Streaming equals batch on arbitrary in-order streams: raw triples
+    /// with duplicate timestamps and self-loops are pushed through
+    /// `StreamingCounter` (self-loops rejected edge-by-edge, exactly as
+    /// the batch builder drops them), and the final counts must equal a
+    /// batch FAST run over the accepted edges. Previously this was only
+    /// asserted on fixed fixtures.
+    #[test]
+    fn streaming_equals_batch_on_random_streams(
+        triples in temporal_graph::gen::arb::raw_triples(8, 40, 30),
+        delta in 0i64..40,
+    ) {
+        let mut arrivals = triples;
+        arrivals.sort_by_key(|&(_, _, t)| t);
+        let mut sc = hare::streaming::StreamingCounter::new(delta);
+        let mut b = GraphBuilder::new();
+        for (s, d, t) in arrivals {
+            match sc.push(s, d, t) {
+                Ok(()) => b.add_edge(s, d, t),
+                Err(hare::streaming::StreamError::SelfLoop) => {
+                    prop_assert_eq!(s, d);
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("in-order push rejected: {e}"))),
+            }
+        }
+        let g = b.build();
+        prop_assert_eq!(sc.num_edges(), g.num_edges() as u64);
+        prop_assert_eq!(sc.counts(), hare::count_motifs(&g, delta).matrix);
+    }
+
     /// Duplicating every edge (same timestamps) scales pair counts by
     /// predictable combinatorics only through enumeration equality —
     /// cheap sanity that multi-edges don't break anything.

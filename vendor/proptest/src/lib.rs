@@ -279,7 +279,7 @@ macro_rules! proptest {
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_impl {
-    (cfg = ($cfg:expr); $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+    (cfg = ($cfg:expr); $($(#[$attr:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
         $(#[$attr])*
         fn $name() {
             let cfg: $crate::ProptestConfig = $cfg;

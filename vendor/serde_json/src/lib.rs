@@ -147,6 +147,15 @@ impl Value {
         }
     }
 
+    /// The value as a mutable object.
+    #[must_use]
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// Index into an object by key (`Value::Null` when absent or not an
     /// object), mirroring `serde_json`'s `Index` sugar.
     #[must_use]
