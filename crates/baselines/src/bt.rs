@@ -182,7 +182,7 @@ impl MotifPattern {
             (Some(a), None) => {
                 let evs = g.node_events(a);
                 let start = evs.partition_point(|ev| ev.edge <= last_id);
-                for ev in &evs[start..] {
+                for ev in evs.slice(start..evs.len()) {
                     if ev.t > deadline {
                         break;
                     }
@@ -198,7 +198,7 @@ impl MotifPattern {
             (None, Some(b)) => {
                 let evs = g.node_events(b);
                 let start = evs.partition_point(|ev| ev.edge <= last_id);
-                for ev in &evs[start..] {
+                for ev in evs.slice(start..evs.len()) {
                     if ev.t > deadline {
                         break;
                     }

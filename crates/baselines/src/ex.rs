@@ -148,7 +148,7 @@ fn count_stars_at(
             vec![0u32; positions.len() + 1],
         ];
         for (k, &p) in positions.iter().enumerate() {
-            let dir = s[p as usize].dir.index();
+            let dir = s.dir(p as usize).index();
             for d in 0..2 {
                 nprefix[d][k + 1] = nprefix[d][k] + u32::from(dir == d);
             }
@@ -160,9 +160,9 @@ fn count_stars_at(
         };
 
         for (ka, &pa) in positions.iter().enumerate() {
-            let ea = &s[pa as usize];
+            let ea = s.get(pa as usize);
             for (kb, &pb) in positions.iter().enumerate().skip(ka + 1) {
-                let eb = &s[pb as usize];
+                let eb = s.get(pb as usize);
                 if eb.t - ea.t > delta {
                     break;
                 }

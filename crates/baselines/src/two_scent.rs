@@ -114,7 +114,7 @@ fn census_dfs(
     let deadline = t0 + delta;
     let evs = g.node_events(cur);
     let start = evs.partition_point(|ev| ev.edge <= last_id);
-    for ev in &evs[start..] {
+    for ev in evs.slice(start..evs.len()) {
         if ev.t > deadline {
             break;
         }
@@ -191,7 +191,7 @@ fn dfs(
     let deadline = t0 + delta;
     let evs = g.node_events(cur);
     let start = evs.partition_point(|ev| ev.edge <= last_id);
-    for ev in &evs[start..] {
+    for ev in evs.slice(start..evs.len()) {
         if ev.t > deadline {
             break;
         }
@@ -220,8 +220,8 @@ fn dfs(
 fn has_out_after(g: &TemporalGraph, node: NodeId, after: EdgeId, deadline: Timestamp) -> bool {
     let evs = g.node_events(node);
     let start = evs.partition_point(|ev| ev.edge <= after);
-    evs[start..]
-        .iter()
+    evs.slice(start..evs.len())
+        .into_iter()
         .take_while(|ev| ev.t <= deadline)
         .any(|ev| ev.dir == temporal_graph::Dir::Out)
 }
@@ -229,8 +229,8 @@ fn has_out_after(g: &TemporalGraph, node: NodeId, after: EdgeId, deadline: Times
 fn has_in_after(g: &TemporalGraph, node: NodeId, after: EdgeId, deadline: Timestamp) -> bool {
     let evs = g.node_events(node);
     let start = evs.partition_point(|ev| ev.edge <= after);
-    evs[start..]
-        .iter()
+    evs.slice(start..evs.len())
+        .into_iter()
         .take_while(|ev| ev.t <= deadline)
         .any(|ev| ev.dir == temporal_graph::Dir::In)
 }

@@ -36,10 +36,10 @@ pub fn fast_star_hashmap(g: &TemporalGraph, delta: Timestamp) -> (StarCounter, P
     for u in g.node_ids() {
         let s = g.node_events(u);
         for i in 0..s.len() {
-            let e1 = s[i];
+            let e1 = s.get(i);
             counts.clear();
             let mut n = [0u64; 2];
-            for e3 in &s[i + 1..] {
+            for e3 in s.slice(i + 1..s.len()) {
                 if e3.t - e1.t > delta {
                     break;
                 }
@@ -74,8 +74,8 @@ pub fn fast_tri_linear(g: &TemporalGraph, delta: Timestamp) -> TriCounter {
     for u in g.node_ids() {
         let s = g.node_events(u);
         for i in 0..s.len() {
-            let ei = s[i];
-            for ej in &s[i + 1..] {
+            let ei = s.get(i);
+            for ej in s.slice(i + 1..s.len()) {
                 if ej.t - ei.t > delta {
                     break;
                 }

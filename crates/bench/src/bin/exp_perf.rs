@@ -1,0 +1,170 @@
+//! Perf trajectory harness: re-times the hot-path suites covered by the
+//! criterion benches and writes one JSON snapshot per run, so absolute
+//! performance is tracked across PRs (`BENCH_<n>.json` at the repo root).
+//!
+//! The output schema is documented in the `hare_bench` crate docs
+//! (*Perf snapshot schema*). The binary also asserts count shapes (the
+//! Fig. 1 toy's single M65; FAST / HARE / windowed agreement), so a CI
+//! run fails on correctness regressions, not just slowdowns.
+//!
+//! ```text
+//! cargo run --release -p hare-bench --bin exp_perf -- \
+//!     [--out BENCH.json] [--samples N] [--scale N] [--quick]
+//! ```
+//!
+//! `--quick` drops to 3 samples and the CollegeMsg/8 workload only — the
+//! CI perf-smoke configuration.
+
+use hare_bench::time;
+use serde_json::{json, Value};
+
+struct Sample {
+    name: String,
+    mean_s: f64,
+    min_s: f64,
+    median_s: f64,
+    samples: usize,
+}
+
+fn sample(name: impl Into<String>, samples: usize, mut f: impl FnMut()) -> Sample {
+    f(); // warm-up (untimed)
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let ((), s) = time(&mut f);
+            s
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    Sample {
+        name: name.into(),
+        mean_s: times.iter().sum::<f64>() / times.len() as f64,
+        min_s: times[0],
+        median_s: times[times.len() / 2],
+        samples: times.len(),
+    }
+}
+
+fn human(s: f64) -> String {
+    hare_bench::human_secs(s)
+}
+
+fn main() {
+    let args = hare_bench::Args::parse();
+    let quick = args.flag("quick");
+    let samples: usize = args.get_num("samples", if quick { 3 } else { 10 });
+    let out = args.get("out").unwrap_or("BENCH_3.json").to_string();
+    let delta: i64 = args.get_num("delta", 600);
+    let mut rows: Vec<Sample> = Vec::new();
+
+    // --- Fig. 1 toy: shape smoke (the paper's worked example) ---
+    let toy = temporal_graph::gen::paper_fig1_toy();
+    let toy_counts = hare::count_motifs(&toy, 10);
+    assert_eq!(
+        toy_counts.get(hare::motif::m(6, 5)),
+        1,
+        "Fig. 1 toy must contain exactly one M65 at delta=10"
+    );
+    rows.push(sample("toy_fig1/fast/10", samples, || {
+        std::hint::black_box(hare::count_motifs(&toy, 10));
+    }));
+
+    // --- CollegeMsg workloads ---
+    let spec = hare_datasets::by_name("CollegeMsg").expect("registry");
+    let scale: usize = args.get_num("scale", if quick { 8 } else { 1 });
+    let g = spec.generate(scale);
+
+    let reference = hare::count_motifs(&g, delta);
+    rows.push(sample(
+        format!("full_collegemsg_s{scale}/fast/{delta}"),
+        samples,
+        || {
+            std::hint::black_box(hare::count_motifs(&g, delta));
+        },
+    ));
+    rows.push(sample(
+        format!("full_collegemsg_s{scale}/fast_star/{delta}"),
+        samples,
+        || {
+            std::hint::black_box(hare::fast_star::fast_star(&g, delta));
+        },
+    ));
+    rows.push(sample(
+        format!("full_collegemsg_s{scale}/fast_tri/{delta}"),
+        samples,
+        || {
+            std::hint::black_box(hare::fast_tri::fast_tri(&g, delta));
+        },
+    ));
+    rows.push(sample(
+        format!("pair_collegemsg_s{scale}/fast_pair/{delta}"),
+        samples,
+        || {
+            std::hint::black_box(hare::fast_pair::fast_pair(&g, delta));
+        },
+    ));
+
+    for threads in [1usize, 2] {
+        let engine = hare::Hare::with_threads(threads);
+        let par = engine.count_all(&g, delta);
+        assert_eq!(
+            par.matrix, reference.matrix,
+            "HARE/{threads} disagrees with sequential FAST"
+        );
+        rows.push(sample(
+            format!("full_collegemsg_s{scale}/hare{threads}/{delta}"),
+            samples,
+            || {
+                std::hint::black_box(engine.count_all(&g, delta));
+            },
+        ));
+    }
+
+    let windowed = hare_bench::ablations::stream_windowed(&g, delta, g.time_span() + 1, 0);
+    assert_eq!(
+        windowed, reference.matrix,
+        "windowed ingest over the full span disagrees with batch FAST"
+    );
+    rows.push(sample(
+        format!("stream_collegemsg_s{scale}/windowed_ingest/{delta}"),
+        samples,
+        || {
+            std::hint::black_box(hare_bench::ablations::stream_windowed(&g, delta, delta, 0));
+        },
+    ));
+
+    // --- report ---
+    println!(
+        "{:<48} {:>10} {:>10} {:>10} {:>8}",
+        "bench", "mean", "min", "median", "samples"
+    );
+    for r in &rows {
+        println!(
+            "{:<48} {:>10} {:>10} {:>10} {:>8}",
+            r.name,
+            human(r.mean_s),
+            human(r.min_s),
+            human(r.median_s),
+            r.samples
+        );
+    }
+
+    let doc = json!({
+        "schema": "hare-bench/perf/v1",
+        "delta": delta,
+        "quick": quick,
+        "benches": rows
+            .iter()
+            .map(|r| {
+                json!({
+                    "name": r.name.clone(),
+                    "mean_s": r.mean_s,
+                    "min_s": r.min_s,
+                    "median_s": r.median_s,
+                    "samples": r.samples,
+                })
+            })
+            .collect::<Vec<Value>>(),
+    });
+    std::fs::write(&out, format!("{doc}\n")).expect("write perf snapshot");
+    println!("\nwrote {out}");
+}

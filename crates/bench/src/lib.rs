@@ -5,6 +5,7 @@
 //!
 //! | Binary | Reproduces |
 //! |---|---|
+//! | `exp_perf`    | Perf trajectory snapshot (`BENCH_<n>.json` per PR) |
 //! | `exp_table2`  | Table II — dataset statistics |
 //! | `exp_fig9`    | Fig. 9 — WikiTalk degree skew & per-node cost |
 //! | `exp_fig10`   | Fig. 10 — FAST vs EX count matrices |
@@ -17,6 +18,38 @@
 //! factor actually applied is printed per row), `--delta N`, and
 //! `--json` (machine-readable result rows on stdout). Run with
 //! `cargo run --release -p hare-bench --bin <name> -- [flags]`.
+//!
+//! ## Perf snapshot schema (`exp_perf`)
+//!
+//! `exp_perf` re-times the workloads covered by the criterion suites and
+//! writes one JSON document (default `BENCH_3.json`; override with
+//! `--out`). Schema `hare-bench/perf/v1`:
+//!
+//! ```json
+//! {
+//!   "schema": "hare-bench/perf/v1",
+//!   "delta": 600,
+//!   "quick": false,
+//!   "benches": [
+//!     { "name": "full_collegemsg_s1/fast/600",
+//!       "mean_s": 0.00102, "min_s": 0.00097,
+//!       "median_s": 0.00101, "samples": 10 }
+//!   ]
+//! }
+//! ```
+//!
+//! * `name` — `<workload>_s<scale>/<algorithm>/<delta>`; the workload is
+//!   a registry dataset (or `toy_fig1`), `s<scale>` its scale divisor.
+//! * `mean_s` / `min_s` / `median_s` — per-iteration wall-clock seconds
+//!   over `samples` timed iterations after one untimed warm-up.
+//! * `quick` — `true` when run with `--quick` (CI perf-smoke: 3 samples,
+//!   CollegeMsg at scale 8 only).
+//!
+//! One snapshot is committed at the repo root per perf-focused PR
+//! (`BENCH_<pr>.json`), so the absolute trajectory of the hot paths is
+//! reviewable over time. The binary also asserts count shapes (Fig. 1
+//! toy M65, HARE/FAST/windowed agreement) so a CI run fails on
+//! correctness regressions too.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -35,6 +35,17 @@ impl StarCounter {
         self.cells[ty.index()][d1.index()][d2.index()][d3.index()] -= n;
     }
 
+    /// Fold a flat per-node accumulator into the counter. The flat index
+    /// is `ty·8 + d1·4 + d2·2 + d3` — the layout the data-oriented
+    /// kernels ([`crate::fused`], [`crate::fast_star`]) accumulate into
+    /// before touching the shared counter once per node.
+    #[inline]
+    pub fn add_flat(&mut self, flat: &[u64; 24]) {
+        for (i, &n) in flat.iter().enumerate() {
+            self.cells[i >> 3][(i >> 2) & 1][(i >> 1) & 1][i & 1] += n;
+        }
+    }
+
     /// Element-wise accumulate another counter (used to reduce per-thread
     /// partials in HARE).
     pub fn merge(&mut self, other: &StarCounter) {
@@ -104,6 +115,15 @@ impl PairCounter {
     #[inline]
     pub fn sub(&mut self, d1: Dir, d2: Dir, d3: Dir, n: u64) {
         self.cells[d1.index()][d2.index()][d3.index()] -= n;
+    }
+
+    /// Fold a flat per-node accumulator into the counter. The flat index
+    /// is `d1·4 + d2·2 + d3` (see [`StarCounter::add_flat`]).
+    #[inline]
+    pub fn add_flat(&mut self, flat: &[u64; 8]) {
+        for (i, &n) in flat.iter().enumerate() {
+            self.cells[i >> 2][(i >> 1) & 1][i & 1] += n;
+        }
     }
 
     /// Element-wise accumulate another counter.
@@ -193,6 +213,15 @@ impl TriCounter {
     #[inline]
     pub fn add(&mut self, ty: TriType, di: Dir, dj: Dir, dk: Dir, n: u64) {
         self.cells[ty.index()][di.index()][dj.index()][dk.index()] += n;
+    }
+
+    /// Fold a flat per-node accumulator into the counter. The flat index
+    /// is `ty·8 + di·4 + dj·2 + dk` (see [`StarCounter::add_flat`]).
+    #[inline]
+    pub fn add_flat(&mut self, flat: &[u64; 24]) {
+        for (i, &n) in flat.iter().enumerate() {
+            self.cells[i >> 3][(i >> 2) & 1][(i >> 1) & 1][i & 1] += n;
+        }
     }
 
     /// Element-wise accumulate another counter.

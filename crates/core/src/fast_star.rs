@@ -21,11 +21,16 @@
 //!
 //! Worst-case time is `O(Σ_u d_u · d_u^δ)` ≈ `O(2 d^δ |E|)` — linear in the
 //! number of temporal edges for fixed window density (§IV.A.4).
+//!
+//! The kernel is data-oriented: the window scan streams the graph's SoA
+//! timestamp lane, topology is one packed `u32` load per step, and all
+//! counter updates go to flat per-node accumulators (offsets hoisted from
+//! `(d1, d3)`) folded into the shared counters once per call — the inner
+//! loop performs no indexed multi-dimensional counter writes.
 
 use crate::counters::{PairCounter, StarCounter};
-use crate::motif::StarType;
 use crate::scratch::NeighborScratch;
-use temporal_graph::{Dir, NodeId, TemporalGraph, Timestamp};
+use temporal_graph::{NodeId, TemporalGraph, Timestamp};
 
 /// Count star/pair motifs centered at `u`, restricted to first-edge
 /// positions `first_edge_range` within `S_u` (the full range reproduces
@@ -42,43 +47,89 @@ pub fn count_node_star_pair_range(
     star: &mut StarCounter,
     pair: &mut PairCounter,
 ) {
+    // Flat accumulators (index ty·8 + d1·4 + d2·2 + d3 / d1·4 + d2·2 + d3);
+    // the shared counters are touched once per call.
+    let mut star_acc = [0u64; 24];
+    let mut pair_acc = [0u64; 8];
+    count_node_star_pair_into(
+        g,
+        u,
+        first_edge_range,
+        delta,
+        scratch,
+        &mut star_acc,
+        &mut pair_acc,
+    );
+    star.add_flat(&star_acc);
+    pair.add_flat(&pair_acc);
+}
+
+/// The scan proper, accumulating into caller-owned flat arrays so the
+/// whole-graph driver folds into the counters once per run.
+fn count_node_star_pair_into(
+    g: &TemporalGraph,
+    u: NodeId,
+    first_edge_range: std::ops::Range<usize>,
+    delta: Timestamp,
+    scratch: &mut NeighborScratch,
+    star_acc: &mut [u64; 24],
+    pair_acc: &mut [u64; 8],
+) {
     let s = g.node_events(u);
-    debug_assert!(first_edge_range.end <= s.len());
+    let ts = s.ts_lane();
+    let packed = s.packed_lane();
+    debug_assert!(first_edge_range.end <= ts.len());
 
     for i in first_edge_range {
-        let e1 = s[i];
+        let t1 = ts[i];
+        let t_hi = t1.saturating_add(delta);
+        // Empty δ-window: nothing can complete — skip all setup.
+        if i + 1 >= ts.len() || ts[i + 1] > t_hi {
+            continue;
+        }
+        let p1 = packed[i];
+        let v = p1 >> 1;
+        let d1 = (p1 & 1) as usize;
+        // All star cells this first edge can hit share the hoisted
+        // (d1, ·, d3) offset base computed per third edge below.
+        let b1 = d1 << 2;
         scratch.reset();
         // Running totals of second-edge candidates per direction
         // (the paper's #e_in / #e_out).
         let mut n = [0u64; 2];
+        // v's in-window counts, tracked in registers: v is fixed for the
+        // whole window, so events to v never touch the scratch array.
+        let mut cv = [0u64; 2];
 
-        for e3 in &s[i + 1..] {
-            if e3.t - e1.t > delta {
+        for j in i + 1..ts.len() {
+            if ts[j] > t_hi {
                 break;
             }
-            let (d1, d3) = (e1.dir, e3.dir);
-            if e3.other == e1.other {
+            let p3 = packed[j];
+            let w = p3 >> 1;
+            let d3 = (p3 & 1) as usize;
+            let base = b1 | d3; // d1·4 + d3; d2 contributes ·2
+            if w == v {
                 // Pair motifs: second edge between u and v = w;
                 // Star-II: second edge to any other neighbour.
-                let cnt = scratch.get(e1.other);
-                for d2 in Dir::BOTH {
-                    let c = cnt[d2.index()];
-                    pair.add(d1, d2, d3, c);
-                    star.add(StarType::II, d1, d2, d3, n[d2.index()] - c);
-                }
+                pair_acc[base] += cv[0];
+                pair_acc[base | 2] += cv[1];
+                star_acc[8 + base] += n[0] - cv[0];
+                star_acc[8 + (base | 2)] += n[1] - cv[1];
+                cv[d3] += 1;
             } else {
                 // Star-I: second edge bonded to w = e3.v;
                 // Star-III: second edge bonded to v = e1.v.
-                let cw = scratch.get(e3.other);
-                let cv = scratch.get(e1.other);
-                for d2 in Dir::BOTH {
-                    star.add(StarType::I, d1, d2, d3, cw[d2.index()]);
-                    star.add(StarType::III, d1, d2, d3, cv[d2.index()]);
-                }
+                let cw = scratch.get(w);
+                star_acc[base] += cw[0];
+                star_acc[base | 2] += cw[1];
+                star_acc[16 + base] += cv[0];
+                star_acc[16 + (base | 2)] += cv[1];
+                // e3 becomes a second-edge candidate for later third
+                // edges (events to v are covered by the register pair).
+                scratch.bump(w, d3);
             }
-            // e3 becomes a second-edge candidate for later third edges.
-            scratch.add(e3.other, e3.dir);
-            n[e3.dir.index()] += 1;
+            n[d3] += 1;
         }
     }
 }
@@ -100,12 +151,21 @@ pub fn count_node_star_pair(
 /// counters (fold them with the `counters` module to obtain grid counts).
 #[must_use]
 pub fn fast_star(g: &TemporalGraph, delta: Timestamp) -> (StarCounter, PairCounter) {
-    let mut scratch = NeighborScratch::new(g.num_nodes());
+    let mut star_acc = [0u64; 24];
+    let mut pair_acc = [0u64; 8];
+    crate::scratch::with_thread_scratch(g.num_nodes(), |scratch| {
+        for u in g.node_ids() {
+            let len = g.node_events(u).len();
+            if len < 2 {
+                continue; // no (e1, e3) window can open
+            }
+            count_node_star_pair_into(g, u, 0..len, delta, scratch, &mut star_acc, &mut pair_acc);
+        }
+    });
     let mut star = StarCounter::default();
     let mut pair = PairCounter::default();
-    for u in g.node_ids() {
-        count_node_star_pair(g, u, delta, &mut scratch, &mut star, &mut pair);
-    }
+    star.add_flat(&star_acc);
+    pair.add_flat(&pair_acc);
     (star, pair)
 }
 

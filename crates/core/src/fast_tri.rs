@@ -25,12 +25,17 @@
 //! runs share one code path and produce bit-identical counters.
 
 use crate::counters::TriCounter;
-use crate::motif::TriType;
 use temporal_graph::{NodeId, TemporalGraph, Timestamp};
 
 /// Count triangle motifs centered at `u`, restricted to first-edge
 /// positions `first_edge_range` within `S_u` (full range = Algorithm 2;
 /// sub-ranges are HARE's intra-node parallel unit).
+///
+/// Data-oriented like [`crate::fast_star`]: the `(e_i, e_j)` window scan
+/// streams the SoA timestamp lane, the type classification is branch-free
+/// (two total-order comparisons summed), and every increment goes to a
+/// flat `[u64; 24]` accumulator folded into the shared counter once per
+/// call.
 pub fn count_node_tri_range(
     g: &TemporalGraph,
     u: NodeId,
@@ -38,40 +43,80 @@ pub fn count_node_tri_range(
     delta: Timestamp,
     tri: &mut TriCounter,
 ) {
+    let mut tri_acc = [0u64; 24];
+    count_node_tri_into(g, u, first_edge_range, delta, &mut tri_acc);
+    tri.add_flat(&tri_acc);
+}
+
+/// The scan proper, accumulating into a caller-owned flat array so the
+/// whole-graph driver folds into the counter once per run.
+fn count_node_tri_into(
+    g: &TemporalGraph,
+    u: NodeId,
+    first_edge_range: std::ops::Range<usize>,
+    delta: Timestamp,
+    tri_acc: &mut [u64; 24],
+) {
     let s = g.node_events(u);
-    debug_assert!(first_edge_range.end <= s.len());
+    let ts = s.ts_lane();
+    let packed = s.packed_lane();
+    let eids = s.edge_lane();
+    let pairs = g.pairs();
+    debug_assert!(first_edge_range.end <= ts.len());
 
     for i in first_edge_range {
-        let ei = s[i];
-        for ej in &s[i + 1..] {
-            if ej.t - ei.t > delta {
+        let t_i = ts[i];
+        // Window upper bound: Triangle-III needs t_k − t_i ≤ δ.
+        let t_hi = t_i.saturating_add(delta);
+        // Empty δ-window: nothing can complete — skip all setup.
+        if i + 1 >= ts.len() || ts[i + 1] > t_hi {
+            continue;
+        }
+        let p_i = packed[i];
+        let v = p_i >> 1;
+        let bi = ((p_i & 1) as usize) << 2; // di·4, hoisted
+                                            // Edge ids are chronological ranks under the global (t, input
+                                            // position) total order, so bare id compares classify types.
+        let ei_id = eids[i];
+        // v's neighbour signature: one register test rejects the frequent
+        // wedges with no closing edge before any hash probe.
+        let bloom_v = pairs.bloom_of(v);
+        // One-entry pair-list memo: bursty sequences hit the same far
+        // endpoint in runs, making consecutive probes of E(v, w) free.
+        let mut memo_w = u32::MAX;
+        let mut memo_evs: &[temporal_graph::PairEvent] = &[];
+        for j in i + 1..ts.len() {
+            if ts[j] > t_hi {
                 break;
             }
-            if ej.other == ei.other {
+            let p_j = packed[j];
+            let w = p_j >> 1;
+            if w == v || !temporal_graph::PairIndex::bloom_may_connect(bloom_v, w) {
                 continue;
             }
-            let (v, w) = (ei.other, ej.other);
-            let evs = g.pair_events(v, w);
+            if w != memo_w {
+                memo_w = w;
+                memo_evs = pairs.events_between(v, w);
+            }
+            let evs = memo_evs;
             if evs.is_empty() {
                 continue;
             }
-            let v_is_lo = v < w;
+            let dk_flip = usize::from(v >= w); // dirs stored relative to lo
+            let base = bi | (((p_j & 1) as usize) << 1); // di·4 + dj·2
+            let ej_id = eids[j];
             // Window lower bound: Triangle-I needs t_j − t_k ≤ δ.
-            let start = evs.partition_point(|p| p.t < ej.t - delta);
+            let t_lo = ts[j].saturating_sub(delta);
+            let start = evs.partition_point(|p| p.t < t_lo);
             for p in &evs[start..] {
-                // Window upper bound: Triangle-III needs t_k − t_i ≤ δ.
-                if p.t > ei.t + delta {
+                if p.t > t_hi {
                     break;
                 }
-                let dk = p.dir_from(v_is_lo);
-                let ty = if (p.t, p.edge) < (ei.t, ei.edge) {
-                    TriType::I
-                } else if (p.t, p.edge) < (ej.t, ej.edge) {
-                    TriType::II
-                } else {
-                    TriType::III
-                };
-                tri.add(ty, ei.dir, ej.dir, dk, 1);
+                let dk = p.dir_from_lo.index() ^ dk_flip;
+                // Type by position in the chronological total order:
+                // before e_i → I (0), between → II (1), after e_j → III.
+                let ty = usize::from(p.edge >= ei_id) + usize::from(p.edge >= ej_id);
+                tri_acc[(ty << 3) | base | dk] += 1;
             }
         }
     }
@@ -88,10 +133,16 @@ pub fn count_node_tri(g: &TemporalGraph, u: NodeId, delta: Timestamp, tri: &mut 
 /// [`TriCounter::add_to_matrix`] to obtain per-class counts.
 #[must_use]
 pub fn fast_tri(g: &TemporalGraph, delta: Timestamp) -> TriCounter {
-    let mut tri = TriCounter::default();
+    let mut tri_acc = [0u64; 24];
     for u in g.node_ids() {
-        count_node_tri(g, u, delta, &mut tri);
+        let len = g.node_events(u).len();
+        if len < 2 {
+            continue; // no (e_i, e_j) window can open
+        }
+        count_node_tri_into(g, u, 0..len, delta, &mut tri_acc);
     }
+    let mut tri = TriCounter::default();
+    tri.add_flat(&tri_acc);
     tri
 }
 

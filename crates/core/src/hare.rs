@@ -18,6 +18,20 @@
 //! among the top-20 nodes. Counter addition is commutative and
 //! associative, so results are **bit-identical** across thread counts and
 //! schedules — asserted by the integration tests.
+//!
+//! Scheduling and allocation discipline (this crate's additions to §IV.C):
+//!
+//! * tasks allocate **nothing** — each worker thread keeps one
+//!   [`NeighborScratch`] in thread-local storage, grown on demand and
+//!   reused across tasks, runs and graphs; per-task counters are inline
+//!   arrays on the stack;
+//! * both node phases visit nodes in **degree-descending** order, so the
+//!   most expensive work is scheduled first and cannot straggle at the
+//!   end of the run (counter addition commutes, so ordering cannot change
+//!   results);
+//! * full 36-motif tasks run the **fused** star+pair+triangle kernel
+//!   ([`crate::fused::count_node_all_range`]) — one window scan per node
+//!   instead of two.
 
 use rayon::prelude::*;
 
@@ -25,7 +39,8 @@ use crate::counters::{MotifCounts, PairCounter, StarCounter, TriCounter};
 use crate::fast_pair::count_pair_events;
 use crate::fast_star::count_node_star_pair_range;
 use crate::fast_tri::count_node_tri_range;
-use crate::scratch::NeighborScratch;
+use crate::fused::count_node_all_range;
+use crate::scratch::with_thread_scratch as with_scratch;
 use temporal_graph::{stats, NodeId, TemporalGraph, Timestamp};
 
 /// How HARE decides which nodes get intra-node parallel treatment.
@@ -229,6 +244,12 @@ impl Hare {
                 light.push(u);
             }
         }
+        // Schedule hubs first: degree-descending order front-loads the
+        // expensive nodes so stragglers cannot serialise the tail of the
+        // run. Node id breaks degree ties to keep the order deterministic.
+        let by_degree_desc = |&u: &NodeId| (std::cmp::Reverse(g.degree(u)), u);
+        light.sort_unstable_by_key(by_degree_desc);
+        heavy.sort_unstable_by_key(by_degree_desc);
 
         let pool = self.pool();
         pool.install(|| {
@@ -237,13 +258,13 @@ impl Hare {
             let mut acc = light
                 .par_chunks(chunk)
                 .map(|nodes| {
-                    let mut partial = Partial::new(g.num_nodes(), work);
+                    let mut partial = Partial::new(work);
                     for &u in nodes {
                         partial.count_node(g, u, 0..g.node_events(u).len(), delta);
                     }
                     partial
                 })
-                .reduce(|| Partial::new(0, work), Partial::merge);
+                .reduce(|| Partial::new(work), Partial::merge);
 
             // Phase 2: intra-node parallelism, one heavy node at a time.
             for &u in &heavy {
@@ -252,11 +273,11 @@ impl Hare {
                 let heavy_acc = ranges
                     .into_par_iter()
                     .map(|range| {
-                        let mut partial = Partial::new(g.num_nodes(), work);
+                        let mut partial = Partial::new(work);
                         partial.count_node(g, u, range, delta);
                         partial
                     })
-                    .reduce(|| Partial::new(0, work), Partial::merge);
+                    .reduce(|| Partial::new(work), Partial::merge);
                 acc = Partial::merge(acc, heavy_acc);
             }
 
@@ -273,24 +294,21 @@ enum Work {
     Tri,
 }
 
-/// Per-task accumulator: private counters plus (lazily created) scratch.
+/// Per-task accumulator: private inline counters (no heap allocation;
+/// scratch lives in thread-local storage).
 struct Partial {
     star: StarCounter,
     pair: PairCounter,
     tri: TriCounter,
-    scratch: Option<NeighborScratch>,
-    num_nodes: usize,
     work: Work,
 }
 
 impl Partial {
-    fn new(num_nodes: usize, work: Work) -> Partial {
+    fn new(work: Work) -> Partial {
         Partial {
             star: StarCounter::default(),
             pair: PairCounter::default(),
             tri: TriCounter::default(),
-            scratch: None,
-            num_nodes,
             work,
         }
     }
@@ -302,22 +320,31 @@ impl Partial {
         range: std::ops::Range<usize>,
         delta: Timestamp,
     ) {
-        if matches!(self.work, Work::All | Work::StarPair) {
-            let scratch = self
-                .scratch
-                .get_or_insert_with(|| NeighborScratch::new(self.num_nodes));
-            count_node_star_pair_range(
-                g,
-                u,
-                range.clone(),
-                delta,
-                scratch,
-                &mut self.star,
-                &mut self.pair,
-            );
-        }
-        if matches!(self.work, Work::All | Work::Tri) {
-            count_node_tri_range(g, u, range, delta, &mut self.tri);
+        match self.work {
+            Work::All => with_scratch(g.num_nodes(), |scratch| {
+                count_node_all_range(
+                    g,
+                    u,
+                    range,
+                    delta,
+                    scratch,
+                    &mut self.star,
+                    &mut self.pair,
+                    &mut self.tri,
+                );
+            }),
+            Work::StarPair => with_scratch(g.num_nodes(), |scratch| {
+                count_node_star_pair_range(
+                    g,
+                    u,
+                    range,
+                    delta,
+                    scratch,
+                    &mut self.star,
+                    &mut self.pair,
+                );
+            }),
+            Work::Tri => count_node_tri_range(g, u, range, delta, &mut self.tri),
         }
     }
 

@@ -59,6 +59,7 @@ pub mod fast_pair;
 pub mod fast_star;
 pub mod fast_tri;
 pub mod fingerprint;
+pub mod fused;
 pub mod hare;
 pub mod motif;
 pub mod scratch;
@@ -75,14 +76,13 @@ pub use windowed::WindowedCounter;
 
 use temporal_graph::{TemporalGraph, Timestamp};
 
-/// Count all 36 motifs sequentially (FAST-Star + FAST-Tri on one thread).
-///
-/// This is the paper's single-threaded "FAST" configuration; use
-/// [`Hare::count_all`] for the parallel framework.
+/// Count all 36 motifs sequentially — the paper's single-threaded "FAST"
+/// configuration, implemented as one fused star+pair+triangle scan per
+/// node ([`fused::count_node_all_range`]). Use [`Hare::count_all`] for
+/// the parallel framework.
 #[must_use]
 pub fn count_motifs(g: &TemporalGraph, delta: Timestamp) -> MotifCounts {
-    let (star, pair) = fast_star::fast_star(g, delta);
-    let tri = fast_tri::fast_tri(g, delta);
+    let (star, pair, tri) = fused::fused_all(g, delta);
     MotifCounts::from_center_counters(star, pair, tri)
 }
 

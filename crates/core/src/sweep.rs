@@ -70,72 +70,84 @@ pub fn count_motifs_sweep(
 
     for u in g.node_ids() {
         let s = g.node_events(u);
+        let ts = s.ts_lane();
+        let packed = s.packed_lane();
+        let eids = s.edge_lane();
 
         // FAST-Star sweep: bucket each (e1, e3) contribution group.
-        for i in 0..s.len() {
-            let e1 = s[i];
+        for i in 0..ts.len() {
+            let t1 = ts[i];
+            let v = packed[i] >> 1;
+            let d1 = Dir::from_index((packed[i] & 1) as usize);
             scratch.reset();
             let mut n = [0u64; 2];
-            for e3 in &s[i + 1..] {
-                let span = e3.t - e1.t;
+            for j in i + 1..ts.len() {
+                let span = ts[j] - t1;
                 if span > max_delta {
                     break;
                 }
+                let w = packed[j] >> 1;
+                let d3 = Dir::from_index((packed[j] & 1) as usize);
                 if let Some(k) = buckets.bucket(span) {
-                    let (d1, d3) = (e1.dir, e3.dir);
-                    if e3.other == e1.other {
-                        let cnt = scratch.get(e1.other);
+                    if w == v {
+                        let cnt = scratch.get(v);
                         for d2 in Dir::BOTH {
                             let c = cnt[d2.index()];
                             buckets.pair[k].add(d1, d2, d3, c);
                             buckets.star[k].add(StarType::II, d1, d2, d3, n[d2.index()] - c);
                         }
                     } else {
-                        let cw = scratch.get(e3.other);
-                        let cv = scratch.get(e1.other);
+                        let cw = scratch.get(w);
+                        let cv = scratch.get(v);
                         for d2 in Dir::BOTH {
                             buckets.star[k].add(StarType::I, d1, d2, d3, cw[d2.index()]);
                             buckets.star[k].add(StarType::III, d1, d2, d3, cv[d2.index()]);
                         }
                     }
                 }
-                scratch.add(e3.other, e3.dir);
-                n[e3.dir.index()] += 1;
+                scratch.add(w, d3);
+                n[d3.index()] += 1;
             }
         }
 
         // FAST-Tri sweep: bucket each opposite-edge increment by the
         // span of the instance it completes.
-        for i in 0..s.len() {
-            let ei = s[i];
-            for ej in &s[i + 1..] {
-                if ej.t - ei.t > max_delta {
+        for i in 0..ts.len() {
+            let t_i = ts[i];
+            let v = packed[i] >> 1;
+            let di = Dir::from_index((packed[i] & 1) as usize);
+            let ei_key = (t_i, eids[i]);
+            for j in i + 1..ts.len() {
+                let t_j = ts[j];
+                if t_j - t_i > max_delta {
                     break;
                 }
-                if ej.other == ei.other {
+                let w = packed[j] >> 1;
+                if w == v {
                     continue;
                 }
-                let (v, w) = (ei.other, ej.other);
+                let dj = Dir::from_index((packed[j] & 1) as usize);
                 let evs = g.pair_events(v, w);
                 if evs.is_empty() {
                     continue;
                 }
                 let v_is_lo = v < w;
-                let start = evs.partition_point(|p| p.t < ej.t - max_delta);
+                let ej_key = (t_j, eids[j]);
+                let start = evs.partition_point(|p| p.t < t_j - max_delta);
                 for p in &evs[start..] {
-                    if p.t > ei.t + max_delta {
+                    if p.t > t_i + max_delta {
                         break;
                     }
                     let dk = p.dir_from(v_is_lo);
-                    let (ty, span) = if (p.t, p.edge) < (ei.t, ei.edge) {
-                        (TriType::I, ej.t - p.t)
-                    } else if (p.t, p.edge) < (ej.t, ej.edge) {
-                        (TriType::II, ej.t - ei.t)
+                    let (ty, span) = if (p.t, p.edge) < ei_key {
+                        (TriType::I, t_j - p.t)
+                    } else if (p.t, p.edge) < ej_key {
+                        (TriType::II, t_j - t_i)
                     } else {
-                        (TriType::III, p.t - ei.t)
+                        (TriType::III, p.t - t_i)
                     };
                     if let Some(k) = buckets.bucket(span) {
-                        buckets.tri[k].add(ty, ei.dir, ej.dir, dk, 1);
+                        buckets.tri[k].add(ty, di, dj, dk, 1);
                     }
                 }
             }
@@ -152,20 +164,18 @@ pub fn count_motifs_sweep(
         hi[0].merge(&lo[k - 1]);
     }
 
-    buckets
-        .deltas
-        .iter()
-        .enumerate()
-        .map(|(k, &d)| {
-            (
-                d,
-                MotifCounts::from_center_counters(
-                    buckets.star[k].clone(),
-                    buckets.pair[k].clone(),
-                    buckets.tri[k].clone(),
-                ),
-            )
-        })
+    // Assemble by consuming the buckets — no counter cloning.
+    let Buckets {
+        deltas,
+        star,
+        pair,
+        tri,
+        ..
+    } = buckets;
+    deltas
+        .into_iter()
+        .zip(star.into_iter().zip(pair).zip(tri))
+        .map(|(d, ((s, p), t))| (d, MotifCounts::from_center_counters(s, p, t)))
         .collect()
 }
 

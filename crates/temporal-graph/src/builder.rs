@@ -187,8 +187,8 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert_eq!(b.dropped_self_loops(), 1);
         let g = b.build();
-        assert_eq!(g.node_events(0)[0].dir, Dir::Out);
-        assert_eq!(g.node_events(0)[1].dir, Dir::In);
+        assert_eq!(g.node_events(0).dir(0), Dir::Out);
+        assert_eq!(g.node_events(0).dir(1), Dir::In);
     }
 
     #[test]

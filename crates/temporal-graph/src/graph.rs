@@ -4,18 +4,46 @@
 //!
 //! 1. **Node event sequences** `S_u` (§IV.A.3): for each node `u`, the
 //!    time-ordered list of edges incident to `u`, each seen as
-//!    `(t, other, dir)` relative to `u`. Stored as one CSR-style arena
-//!    (`node_offsets` + `events`) so a sequence is a contiguous slice.
+//!    `(t, other, dir)` relative to `u`. Stored as a CSR-style
+//!    structure-of-arrays arena (see *Lane layout* below) so a sequence
+//!    is a set of contiguous per-field slices.
 //! 2. **Pair edge lists** `E(v, w)` (§IV.B): for each unordered node pair,
 //!    the time-ordered list of edges between them (both directions).
 //!    FAST-Tri binary-searches these within the δ window, which is the
 //!    "implementation trick" the paper uses to bound `ξ` by `d^δ`.
+//!
+//! # Lane layout
+//!
+//! The event arena is stored as three parallel lanes indexed by global
+//! event position (`node_offsets[u]..node_offsets[u + 1]` is `S_u`):
+//!
+//! * `ev_ts: Box<[i64]>` — the timestamp lane. The δ-window scan and the
+//!   window binary search touch **only** this lane, so a scan streams
+//!   8 bytes per event instead of a 24-byte [`Event`] struct.
+//! * `ev_packed: Box<[u32]>` — the topology lane, encoding
+//!   `other << 1 | dir` (`dir`: [`Dir::Out`] = 0, [`Dir::In`] = 1). One
+//!   4-byte load yields both the far endpoint and the direction; the
+//!   builder asserts `num_nodes < 2^31` so the shift never truncates.
+//! * `ev_edge: Box<[u32]>` — the global edge id (chronological rank)
+//!   lane, read only where the total order matters (triangle
+//!   classification, enumeration baselines).
+//!
+//! Invariants (established by the builder, relied on by every kernel):
+//! within each `S_u` all three lanes are sorted by `(t, edge)`; `edge`
+//! values are strictly increasing; and the three lanes always have equal
+//! length `2·|E|`. [`NodeEvents`] is the borrowed view tying the lanes
+//! of one node together; [`Event`] is the materialised
+//! array-of-structs form for call sites that are not hot.
 
 use crate::types::{Dir, EdgeId, NodeId, TemporalEdge, Timestamp};
 use crate::util::FxHashMap;
 
 /// One entry of a node's event sequence `S_u`: an incident edge viewed
 /// from the owning node (`e = (t, v, dir)` in the paper's notation).
+///
+/// This is the *materialised* form — storage is the SoA lane arena
+/// described in the module docs; [`NodeEvents::get`] assembles an
+/// `Event` on demand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// Timestamp of the underlying edge.
@@ -26,6 +54,195 @@ pub struct Event {
     pub edge: EdgeId,
     /// Direction relative to the owning node (`e.dir`).
     pub dir: Dir,
+}
+
+/// Borrowed SoA view over one node's event sequence `S_u`.
+///
+/// The three lanes (`ts`, `packed`, `edges`) are parallel slices of the
+/// graph's event arena (see the module docs for the encoding). Hot
+/// kernels read the lanes directly ([`NodeEvents::ts_lane`],
+/// [`NodeEvents::packed_lane`]); everything else can use the indexed
+/// accessors or iterate materialised [`Event`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeEvents<'a> {
+    ts: &'a [Timestamp],
+    packed: &'a [u32],
+    edges: &'a [EdgeId],
+}
+
+impl<'a> NodeEvents<'a> {
+    /// `|S_u|` — the node's total degree.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// `true` if the node has no incident edges.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Materialise the `i`-th event.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> Event {
+        Event {
+            t: self.ts[i],
+            other: self.packed[i] >> 1,
+            edge: self.edges[i],
+            dir: dir_of(self.packed[i]),
+        }
+    }
+
+    /// Timestamp of the `i`-th event.
+    #[inline]
+    #[must_use]
+    pub fn t(&self, i: usize) -> Timestamp {
+        self.ts[i]
+    }
+
+    /// Far endpoint of the `i`-th event.
+    #[inline]
+    #[must_use]
+    pub fn other(&self, i: usize) -> NodeId {
+        self.packed[i] >> 1
+    }
+
+    /// Direction of the `i`-th event relative to the owning node.
+    #[inline]
+    #[must_use]
+    pub fn dir(&self, i: usize) -> Dir {
+        dir_of(self.packed[i])
+    }
+
+    /// Global edge id of the `i`-th event.
+    #[inline]
+    #[must_use]
+    pub fn edge(&self, i: usize) -> EdgeId {
+        self.edges[i]
+    }
+
+    /// Raw packed value `other << 1 | dir` of the `i`-th event.
+    #[inline]
+    #[must_use]
+    pub fn packed(&self, i: usize) -> u32 {
+        self.packed[i]
+    }
+
+    /// The timestamp lane (δ-window scans binary-search / stream this).
+    #[inline]
+    #[must_use]
+    pub fn ts_lane(&self) -> &'a [Timestamp] {
+        self.ts
+    }
+
+    /// The packed topology lane (`other << 1 | dir` per event).
+    #[inline]
+    #[must_use]
+    pub fn packed_lane(&self) -> &'a [u32] {
+        self.packed
+    }
+
+    /// The global edge id lane.
+    #[inline]
+    #[must_use]
+    pub fn edge_lane(&self) -> &'a [EdgeId] {
+        self.edges
+    }
+
+    /// Sub-view over a contiguous range of event positions.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> NodeEvents<'a> {
+        NodeEvents {
+            ts: &self.ts[range.clone()],
+            packed: &self.packed[range.clone()],
+            edges: &self.edges[range],
+        }
+    }
+
+    /// Iterate materialised [`Event`]s in sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + 'a {
+        let view = *self;
+        (0..view.len()).map(move |i| view.get(i))
+    }
+
+    /// `slice::partition_point` over materialised events: the index of
+    /// the first event for which `pred` is false (events for which it is
+    /// true must form a prefix).
+    #[inline]
+    #[must_use]
+    pub fn partition_point(&self, mut pred: impl FnMut(Event) -> bool) -> usize {
+        // Binary search over positions; each probe materialises one event.
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(self.get(mid)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+impl<'a> IntoIterator for NodeEvents<'a> {
+    type Item = Event;
+    type IntoIter = NodeEventsIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        NodeEventsIter {
+            view: self,
+            next: 0,
+        }
+    }
+}
+
+/// Iterator over a [`NodeEvents`] view, yielding materialised [`Event`]s.
+#[derive(Debug, Clone)]
+pub struct NodeEventsIter<'a> {
+    view: NodeEvents<'a>,
+    next: usize,
+}
+
+impl Iterator for NodeEventsIter<'_> {
+    type Item = Event;
+
+    #[inline]
+    fn next(&mut self) -> Option<Event> {
+        if self.next < self.view.len() {
+            let e = self.view.get(self.next);
+            self.next += 1;
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.view.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NodeEventsIter<'_> {}
+
+/// Decode the direction bit of a packed lane entry.
+#[inline]
+fn dir_of(packed: u32) -> Dir {
+    if packed & 1 == 0 {
+        Dir::Out
+    } else {
+        Dir::In
+    }
 }
 
 /// One entry of a pair edge list `E(v, w)`, stored relative to the
@@ -61,17 +278,30 @@ impl PairEvent {
 ///
 /// Layout mirrors CSR: `keys[i]` is the i-th pair `(lo, hi)`,
 /// `events[offsets[i]..offsets[i+1]]` its time-ordered edges. `slot_of`
-/// provides O(1) lookup from a pair to its slot.
+/// provides O(1) lookup from a pair to its slot (a single predictable
+/// hash probe — measured faster here than a sorted-adjacency binary
+/// search, whose log(d) compares mispredict on skewed graphs).
 #[derive(Debug, Clone)]
 pub struct PairIndex {
     keys: Box<[(NodeId, NodeId)]>,
     offsets: Box<[usize]>,
     events: Box<[PairEvent]>,
     slot_of: FxHashMap<(NodeId, NodeId), u32>,
+    // Per-node 64-bit neighbour signatures: bit `sig(w)` is set iff some
+    // edge connects the node to `w`. One register test filters the
+    // (frequent) non-adjacent probes of the triangle kernel before they
+    // pay for a hash lookup; a clear bit is an exact negative.
+    blooms: Box<[u64]>,
 }
 
 impl PairIndex {
-    pub(crate) fn build(edges: &[TemporalEdge]) -> PairIndex {
+    /// Bloom bit of neighbour `w` (multiplicative mix into 0..64).
+    #[inline]
+    fn bloom_bit(w: NodeId) -> u64 {
+        1u64 << (w.wrapping_mul(0x9E37_79B1) >> 26 & 63)
+    }
+
+    pub(crate) fn build(num_nodes: usize, edges: &[TemporalEdge]) -> PairIndex {
         // Edges are already in chronological (id) order, so a stable sort
         // by pair key keeps each pair's events time-ordered.
         let mut tagged: Vec<((NodeId, NodeId), PairEvent)> = edges
@@ -92,15 +322,19 @@ impl PairIndex {
             .collect();
         tagged.sort_by_key(|&(key, ev)| (key, ev.edge));
 
-        let mut keys = Vec::new();
+        let mut keys: Vec<(NodeId, NodeId)> = Vec::new();
         let mut offsets = Vec::with_capacity(tagged.len() / 2 + 2);
         let mut events = Vec::with_capacity(tagged.len());
         let mut slot_of = FxHashMap::default();
+        let mut blooms = vec![0u64; num_nodes];
         for (key, ev) in tagged {
             if keys.last() != Some(&key) {
                 slot_of.insert(key, keys.len() as u32);
                 keys.push(key);
                 offsets.push(events.len());
+                let (lo, hi) = key;
+                blooms[lo as usize] |= PairIndex::bloom_bit(hi);
+                blooms[hi as usize] |= PairIndex::bloom_bit(lo);
             }
             events.push(ev);
         }
@@ -111,7 +345,33 @@ impl PairIndex {
             offsets: offsets.into_boxed_slice(),
             events: events.into_boxed_slice(),
             slot_of,
+            blooms: blooms.into_boxed_slice(),
         }
+    }
+
+    /// The 64-bit neighbour signature of node `v` (0 for nodes without
+    /// edges). Test candidates with [`PairIndex::bloom_may_connect`].
+    #[inline]
+    #[must_use]
+    pub fn bloom_of(&self, v: NodeId) -> u64 {
+        self.blooms.get(v as usize).copied().unwrap_or(0)
+    }
+
+    /// `false` guarantees no edge connects the signature's node to `w`
+    /// (`true` may be a false positive — follow with a real lookup).
+    #[inline]
+    #[must_use]
+    pub fn bloom_may_connect(bloom: u64, w: NodeId) -> bool {
+        bloom & PairIndex::bloom_bit(w) != 0
+    }
+
+    /// Slot of the unordered pair `{a, b}`, or `None` if no edge connects
+    /// them.
+    #[inline]
+    #[must_use]
+    pub fn slot_between(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.slot_of.get(&key).copied()
     }
 
     /// Number of distinct unordered pairs with at least one edge.
@@ -140,9 +400,8 @@ impl PairIndex {
     #[inline]
     #[must_use]
     pub fn events_between(&self, a: NodeId, b: NodeId) -> &[PairEvent] {
-        let key = if a <= b { (a, b) } else { (b, a) };
-        match self.slot_of.get(&key) {
-            Some(&slot) => self.events_of_slot(slot as usize),
+        match self.slot_between(a, b) {
+            Some(slot) => self.events_of_slot(slot as usize),
             None => &[],
         }
     }
@@ -158,7 +417,10 @@ pub struct TemporalGraph {
     num_nodes: usize,
     edges: Box<[TemporalEdge]>,
     node_offsets: Box<[usize]>,
-    events: Box<[Event]>,
+    // SoA event arena — see the module docs for the lane layout.
+    ev_ts: Box<[Timestamp]>,
+    ev_packed: Box<[u32]>,
+    ev_edge: Box<[EdgeId]>,
     pairs: PairIndex,
 }
 
@@ -180,6 +442,10 @@ impl TemporalGraph {
             edges.len() <= u32::MAX as usize,
             "edge count exceeds u32 id space"
         );
+        assert!(
+            num_nodes <= (u32::MAX >> 1) as usize,
+            "node count exceeds the packed-lane id space (2^31 - 1)"
+        );
         debug_assert!(edges.windows(2).all(|w| w[0].t <= w[1].t));
 
         // Per-node degree counting pass, then prefix sums, then a fill pass
@@ -194,43 +460,34 @@ impl TemporalGraph {
         }
         let node_offsets = counts.clone().into_boxed_slice();
 
-        let mut events = vec![
-            Event {
-                t: 0,
-                other: 0,
-                edge: 0,
-                dir: Dir::Out
-            };
-            edges.len() * 2
-        ];
+        let n_events = edges.len() * 2;
+        let mut ev_ts = vec![0 as Timestamp; n_events];
+        let mut ev_packed = vec![0u32; n_events];
+        let mut ev_edge = vec![0 as EdgeId; n_events];
         let mut cursors = counts;
         for (id, e) in edges.iter().enumerate() {
             let id = id as EdgeId;
             let s = &mut cursors[e.src as usize];
-            events[*s] = Event {
-                t: e.t,
-                other: e.dst,
-                edge: id,
-                dir: Dir::Out,
-            };
+            ev_ts[*s] = e.t;
+            ev_packed[*s] = (e.dst << 1) | Dir::Out as u32;
+            ev_edge[*s] = id;
             *s += 1;
             let d = &mut cursors[e.dst as usize];
-            events[*d] = Event {
-                t: e.t,
-                other: e.src,
-                edge: id,
-                dir: Dir::In,
-            };
+            ev_ts[*d] = e.t;
+            ev_packed[*d] = (e.src << 1) | Dir::In as u32;
+            ev_edge[*d] = id;
             *d += 1;
         }
 
-        let pairs = PairIndex::build(&edges);
+        let pairs = PairIndex::build(num_nodes, &edges);
 
         TemporalGraph {
             num_nodes,
             edges: edges.into_boxed_slice(),
             node_offsets,
-            events: events.into_boxed_slice(),
+            ev_ts: ev_ts.into_boxed_slice(),
+            ev_packed: ev_packed.into_boxed_slice(),
+            ev_edge: ev_edge.into_boxed_slice(),
             pairs,
         }
     }
@@ -263,11 +520,18 @@ impl TemporalGraph {
         self.edges[id as usize]
     }
 
-    /// The time-ordered event sequence `S_u` of node `u`.
+    /// The time-ordered event sequence `S_u` of node `u`, as a borrowed
+    /// SoA view over the lane arena.
     #[inline]
     #[must_use]
-    pub fn node_events(&self, u: NodeId) -> &[Event] {
-        &self.events[self.node_offsets[u as usize]..self.node_offsets[u as usize + 1]]
+    pub fn node_events(&self, u: NodeId) -> NodeEvents<'_> {
+        let lo = self.node_offsets[u as usize];
+        let hi = self.node_offsets[u as usize + 1];
+        NodeEvents {
+            ts: &self.ev_ts[lo..hi],
+            packed: &self.ev_packed[lo..hi],
+            edges: &self.ev_edge[lo..hi],
+        }
     }
 
     /// Total degree of `u` (in-degree + out-degree, counting multi-edges) —
@@ -396,9 +660,52 @@ mod tests {
         let g = toy();
         for u in g.node_ids() {
             let s = g.node_events(u);
-            assert!(s.windows(2).all(|w| w[0].t <= w[1].t), "S_{u} unsorted");
-            assert!(s.windows(2).all(|w| w[0].edge < w[1].edge));
+            assert!(
+                s.ts_lane().windows(2).all(|w| w[0] <= w[1]),
+                "S_{u} unsorted"
+            );
+            assert!(s.edge_lane().windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn node_events_view_accessors_agree() {
+        let g = toy();
+        for u in g.node_ids() {
+            let s = g.node_events(u);
+            assert_eq!(s.len(), g.degree(u));
+            assert_eq!(s.is_empty(), g.degree(u) == 0);
+            for (i, ev) in s.iter().enumerate() {
+                assert_eq!(ev, s.get(i));
+                assert_eq!(ev.t, s.t(i));
+                assert_eq!(ev.other, s.other(i));
+                assert_eq!(ev.dir, s.dir(i));
+                assert_eq!(ev.edge, s.edge(i));
+                assert_eq!(s.packed(i), (ev.other << 1) | ev.dir as u32);
+            }
+            // Lanes are parallel and equally long.
+            assert_eq!(s.ts_lane().len(), s.len());
+            assert_eq!(s.packed_lane().len(), s.len());
+            assert_eq!(s.edge_lane().len(), s.len());
+        }
+    }
+
+    #[test]
+    fn node_events_slice_and_partition_point() {
+        let g = toy();
+        let s = g.node_events(0);
+        let tail = s.slice(2..s.len());
+        assert_eq!(tail.len(), s.len() - 2);
+        assert_eq!(tail.get(0), s.get(2));
+        // partition_point agrees with a linear scan on the same predicate.
+        for cut in [0, 5, 9, 12, 100] {
+            let via_view = s.partition_point(|e| e.t < cut);
+            let via_scan = s.iter().take_while(|e| e.t < cut).count();
+            assert_eq!(via_view, via_scan, "cut={cut}");
+        }
+        let it = s.into_iter();
+        assert_eq!(it.len(), s.len());
+        assert_eq!(it.count(), s.len());
     }
 
     #[test]

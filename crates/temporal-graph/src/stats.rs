@@ -124,13 +124,13 @@ pub fn mean_window_degree(g: &TemporalGraph, delta: Timestamp) -> f64 {
     let mut total = 0usize;
     let mut events = 0usize;
     for u in g.node_ids() {
-        let s = g.node_events(u);
+        let ts = g.node_events(u).ts_lane();
         let mut j = 0;
-        for i in 0..s.len() {
+        for i in 0..ts.len() {
             if j < i + 1 {
                 j = i + 1;
             }
-            while j < s.len() && s[j].t - s[i].t <= delta {
+            while j < ts.len() && ts[j] - ts[i] <= delta {
                 j += 1;
             }
             total += j - (i + 1);
