@@ -6,6 +6,7 @@
 //! | Binary | Reproduces |
 //! |---|---|
 //! | `exp_perf`    | Perf trajectory snapshot (`BENCH_<n>.json` per PR) |
+//! | `exp_approx`  | Accuracy-vs-speedup sweep of the sampling estimator |
 //! | `exp_table2`  | Table II — dataset statistics |
 //! | `exp_fig9`    | Fig. 9 — WikiTalk degree skew & per-node cost |
 //! | `exp_fig10`   | Fig. 10 — FAST vs EX count matrices |
@@ -50,6 +51,48 @@
 //! reviewable over time. The binary also asserts count shapes (Fig. 1
 //! toy M65, HARE/FAST/windowed agreement) so a CI run fails on
 //! correctness regressions too.
+//!
+//! ## Approximate-counting snapshot schema (`exp_approx`)
+//!
+//! `exp_approx` sweeps the interval-sampling estimator's window keep
+//! probability `p` on CollegeMsg and writes one JSON document (default
+//! `BENCH_APPROX.json`; override with `--out`). Schema
+//! `hare-bench/approx/v1`:
+//!
+//! ```json
+//! {
+//!   "schema": "hare-bench/approx/v1",
+//!   "dataset": "CollegeMsg", "scale": 1, "delta": 600,
+//!   "window_factor": 10, "confidence": 0.95,
+//!   "samples": 10, "seeds": 25, "quick": false,
+//!   "exact_mean_s": 0.00102, "exact_total": 40075,
+//!   "rows": [
+//!     { "prob": 0.3, "mean_s": 0.00084, "speedup": 1.21,
+//!       "mean_rel_err": 0.345, "max_rel_err": 0.614,
+//!       "coverage": 0.793,
+//!       "windows_sampled": 795, "windows_total": 2776 }
+//!   ]
+//! }
+//! ```
+//!
+//! * `exact_mean_s` — mean wall-clock seconds of exact FAST over
+//!   `samples` timed iterations (after one untimed warm-up); each row's
+//!   `mean_s` is the same measurement for the estimator at that `prob`,
+//!   and `speedup` is their ratio.
+//! * `mean_rel_err` / `max_rel_err` — mean/max over `seeds` sampling
+//!   seeds of the mean relative error across motifs with non-zero exact
+//!   count ([`hare::sample::SampledCounts::mean_relative_error`]).
+//! * `coverage` — mean over seeds of the fraction of non-zero motifs
+//!   whose confidence interval covers the exact count
+//!   ([`hare::sample::SampledCounts::covered_fraction`]).
+//! * `windows_sampled` / `windows_total` — kept vs total windows for
+//!   the timing seed.
+//!
+//! The estimator's derivation (unbiasedness, variance, the boundary
+//! correction) lives in `docs/ESTIMATORS.md`. The binary asserts that
+//! `prob = 1.0` rows reproduce the exact counts bit-identically and
+//! that coverage never collapses (a broken variance estimate or rescale
+//! fails CI).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -13,6 +13,7 @@
 
 use std::process::ExitCode;
 
+use hare::sample::{SampleConfig, SampledCounter};
 use hare::streaming::StreamError;
 use hare::windowed::WindowedCounter;
 use hare::{Hare, HareConfig, MotifCategory};
@@ -40,6 +41,18 @@ OPTIONS:
     --no-timing         omit wall-clock timing for byte-stable output
     --help              this text
 
+APPROXIMATE (interval-sampling) MODE:
+    --approx            estimate counts instead of counting exactly:
+                        windows of length (window-factor * delta) are
+                        kept with probability --prob, counted exactly,
+                        and rescaled into unbiased per-motif estimates
+                        with confidence intervals
+    --prob P            window keep probability in (0, 1] (default 0.1);
+                        1.0 reproduces the exact counts bit-identically
+    --ci LEVEL          confidence level in (0, 1) (default 0.95)
+    --window-factor C   sampling window length factor c >= 1 (default 10)
+    --seed S            sampling seed (default 42; same seed, same windows)
+
 STREAMING (sliding-window) MODE:
     --window SECONDS    enable streaming: exact counts over the trailing
                         window W >= delta; emits one motif matrix per tick
@@ -64,6 +77,11 @@ struct Opts {
     window: Option<i64>,
     slack: i64,
     tick: Option<i64>,
+    approx: bool,
+    prob: f64,
+    ci: f64,
+    window_factor: i64,
+    seed: u64,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
@@ -81,6 +99,11 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         window: None,
         slack: 0,
         tick: None,
+        approx: false,
+        prob: 0.1,
+        ci: 0.95,
+        window_factor: 10,
+        seed: 42,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -137,6 +160,23 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                         .map_err(|e| format!("--tick: {e}"))?,
                 )
             }
+            "--approx" => o.approx = true,
+            "--prob" => {
+                o.prob = value("--prob")?
+                    .parse()
+                    .map_err(|e| format!("--prob: {e}"))?
+            }
+            "--ci" => o.ci = value("--ci")?.parse().map_err(|e| format!("--ci: {e}"))?,
+            "--window-factor" => {
+                o.window_factor = value("--window-factor")?
+                    .parse()
+                    .map_err(|e| format!("--window-factor: {e}"))?
+            }
+            "--seed" => {
+                o.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -179,6 +219,37 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     }
     if o.tick.is_some_and(|t| t < 1) {
         return Err("--tick must be at least 1".into());
+    }
+    if o.approx {
+        if o.delta.is_none() {
+            return Err("--approx requires --delta".into());
+        }
+        if o.window.is_some() {
+            return Err("--approx and --window are mutually exclusive".into());
+        }
+        if o.stats {
+            return Err("--stats is not supported with --approx".into());
+        }
+        if o.only != "all" {
+            return Err("--only is not supported with --approx".into());
+        }
+        if !(o.prob > 0.0 && o.prob <= 1.0) {
+            return Err(format!("--prob must be in (0, 1], got {}", o.prob));
+        }
+        if !(o.ci > 0.0 && o.ci < 1.0) {
+            return Err(format!("--ci must be in (0, 1), got {}", o.ci));
+        }
+        if o.window_factor < 1 {
+            return Err(format!(
+                "--window-factor must be at least 1, got {}",
+                o.window_factor
+            ));
+        }
+    } else if ["--prob", "--ci", "--window-factor", "--seed"]
+        .iter()
+        .any(|f| args.iter().any(|a| a == f))
+    {
+        return Err("--prob/--ci/--window-factor/--seed require --approx".into());
     }
     Ok(o)
 }
@@ -324,6 +395,101 @@ fn run_stream(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Approximate (interval-sampling) mode: estimate all 36 motif counts
+/// with per-motif standard errors and confidence intervals.
+fn run_approx(
+    o: &Opts,
+    graph: &temporal_graph::TemporalGraph,
+    stats: &GraphStats,
+    delta: i64,
+) -> Result<(), String> {
+    let counter = SampledCounter::new(SampleConfig {
+        prob: o.prob,
+        window_factor: o.window_factor,
+        confidence: o.ci,
+        seed: o.seed,
+        threads: o.threads,
+    });
+    let start = std::time::Instant::now();
+    let est = counter.count(graph, delta);
+    let secs = start.elapsed().as_secs_f64();
+
+    if o.json {
+        let cells: Vec<serde_json::Value> = est
+            .iter()
+            .map(|(m, e)| {
+                serde_json::json!({
+                    "motif": m.to_string(),
+                    "estimate": e.estimate,
+                    "stderr": e.stderr,
+                    "ci_lo": e.ci_lo,
+                    "ci_hi": e.ci_hi,
+                })
+            })
+            .collect();
+        let approx = serde_json::json!({
+            "prob": est.prob,
+            "confidence": est.confidence,
+            "window_factor": o.window_factor,
+            "window_len": est.window_len,
+            "seed": o.seed,
+            "windows_total": est.windows_total,
+            "windows_sampled": est.windows_sampled,
+        });
+        let mut obj = serde_json::json!({
+            "delta": delta,
+            "nodes": stats.num_nodes,
+            "edges": stats.num_edges,
+        });
+        if let Some(map) = obj.as_object_mut() {
+            map.insert("approx".into(), approx);
+            if !o.no_timing {
+                map.insert("seconds".into(), serde_json::Value::from(secs));
+            }
+            map.insert(
+                "total_estimate".into(),
+                serde_json::Value::from(est.total_estimate()),
+            );
+            map.insert("counts".into(), serde_json::Value::from(cells));
+        }
+        println!("{obj}");
+    } else {
+        let timing = if o.no_timing {
+            String::new()
+        } else {
+            format!(" | counted in {secs:.3}s")
+        };
+        println!(
+            "graph: {} nodes, {} edges | delta = {delta}s | approx p={:.3} c={} ci={:.0}% \
+             seed={} | windows {}/{}{timing}",
+            stats.num_nodes,
+            stats.num_edges,
+            est.prob,
+            o.window_factor,
+            est.confidence * 100.0,
+            o.seed,
+            est.windows_sampled,
+            est.windows_total,
+        );
+        println!(
+            "{:>6} {:>14} {:>12} {:>14} {:>14}",
+            "motif", "estimate", "stderr", "ci_lo", "ci_hi"
+        );
+        for (m, e) in est.iter() {
+            println!(
+                "{:>6} {:>14.1} {:>12.1} {:>14.1} {:>14.1}",
+                m.to_string(),
+                e.estimate,
+                e.stderr,
+                e.ci_lo,
+                e.ci_hi
+            );
+        }
+        println!("total estimate: {:.1}", est.total_estimate());
+    }
+    Ok(())
+}
+
 fn run(o: &Opts) -> Result<(), String> {
     if o.window.is_some() {
         return run_stream(o);
@@ -372,6 +538,9 @@ fn run(o: &Opts) -> Result<(), String> {
     }
 
     let delta = o.delta.expect("validated");
+    if o.approx {
+        return run_approx(o, &graph, &stats, delta);
+    }
     let start = std::time::Instant::now();
     let engine = Hare::new(HareConfig {
         num_threads: o.threads,
@@ -565,6 +734,96 @@ mod tests {
             "--input", "x", "--delta", "1", "--window", "5", "--tick", "0"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_approx_flags() {
+        let o = parse_args(&args(&[
+            "--input",
+            "x.txt",
+            "--delta",
+            "600",
+            "--approx",
+            "--prob",
+            "0.3",
+            "--ci",
+            "0.99",
+            "--window-factor",
+            "5",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(o.approx);
+        assert_eq!(o.prob, 0.3);
+        assert_eq!(o.ci, 0.99);
+        assert_eq!(o.window_factor, 5);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn rejects_bad_approx_combinations() {
+        // approx without delta
+        assert!(parse_args(&args(&["--input", "x", "--approx", "--stats"])).is_err());
+        // approx is exclusive with streaming, --stats and --only
+        assert!(parse_args(&args(&[
+            "--input", "x", "--delta", "1", "--approx", "--window", "5"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--input", "x", "--delta", "1", "--approx", "--stats"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--input", "x", "--delta", "1", "--approx", "--only", "pairs"
+        ]))
+        .is_err());
+        // out-of-range parameters
+        for (flag, bad) in [
+            ("--prob", "0"),
+            ("--prob", "1.5"),
+            ("--ci", "1"),
+            ("--ci", "0"),
+        ] {
+            assert!(
+                parse_args(&args(&[
+                    "--input", "x", "--delta", "1", "--approx", flag, bad
+                ]))
+                .is_err(),
+                "{flag} {bad} should be rejected"
+            );
+        }
+        assert!(parse_args(&args(&[
+            "--input",
+            "x",
+            "--delta",
+            "1",
+            "--approx",
+            "--window-factor",
+            "0"
+        ]))
+        .is_err());
+        // sampling flags without --approx
+        let e = parse_args(&args(&["--input", "x", "--delta", "1", "--prob", "0.5"])).unwrap_err();
+        assert!(e.contains("--approx"), "{e}");
+    }
+
+    #[test]
+    fn approx_mode_runs_on_registry_dataset() {
+        let o = parse_args(&args(&[
+            "--dataset",
+            "CollegeMsg",
+            "--scale",
+            "8",
+            "--delta",
+            "600",
+            "--approx",
+            "--prob",
+            "0.5",
+            "--json",
+        ]))
+        .unwrap();
+        run(&o).unwrap();
     }
 
     #[test]

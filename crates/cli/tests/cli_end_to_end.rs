@@ -528,3 +528,101 @@ fn input_file_path_end_to_end() {
     );
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn approx_json_output_has_the_documented_shape() {
+    let out = hare_count(&[
+        "--dataset",
+        "CollegeMsg",
+        "--scale",
+        "8",
+        "--delta",
+        "600",
+        "--approx",
+        "--prob",
+        "0.5",
+        "--ci",
+        "0.95",
+        "--seed",
+        "7",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let v = serde_json::from_str(stdout_of(&out).trim()).expect("stdout is one JSON object");
+    assert_eq!(v["delta"].as_i64(), Some(600));
+    assert!(v["nodes"].as_u64().unwrap() > 0);
+    assert!(v["seconds"].as_f64().unwrap() >= 0.0);
+    let approx = &v["approx"];
+    assert_eq!(approx["prob"].as_f64(), Some(0.5));
+    assert_eq!(approx["confidence"].as_f64(), Some(0.95));
+    assert_eq!(approx["seed"].as_u64(), Some(7));
+    assert_eq!(approx["window_factor"].as_i64(), Some(10));
+    assert_eq!(approx["window_len"].as_i64(), Some(6000));
+    let total_w = approx["windows_total"].as_u64().unwrap();
+    let sampled_w = approx["windows_sampled"].as_u64().unwrap();
+    assert!(total_w > 0 && sampled_w <= total_w);
+
+    let cells = v["counts"].as_array().expect("counts is an array");
+    assert_eq!(cells.len(), 36, "one cell per canonical motif");
+    let mut sum = 0.0;
+    for cell in cells {
+        let name = cell["motif"].as_str().unwrap();
+        assert!(name.len() == 3 && name.starts_with('M'), "{name:?}");
+        let est = cell["estimate"].as_f64().unwrap();
+        let stderr = cell["stderr"].as_f64().unwrap();
+        let (lo, hi) = (
+            cell["ci_lo"].as_f64().unwrap(),
+            cell["ci_hi"].as_f64().unwrap(),
+        );
+        assert!(est >= 0.0 && stderr >= 0.0, "{name}");
+        assert!(lo <= est && est <= hi, "{name}: CI must bracket estimate");
+        sum += est;
+    }
+    let total = v["total_estimate"].as_f64().unwrap();
+    assert!(
+        (total - sum).abs() < 1e-6 * total.max(1.0),
+        "total_estimate {total} != cell sum {sum}"
+    );
+}
+
+#[test]
+fn approx_prob_one_reproduces_exact_counts_bit_identically() {
+    let common = [
+        "--dataset",
+        "CollegeMsg",
+        "--scale",
+        "8",
+        "--delta",
+        "600",
+        "--no-timing",
+        "--json",
+    ];
+    let exact = hare_count(&common);
+    let approx: Vec<&str> = common
+        .iter()
+        .copied()
+        .chain(["--approx", "--prob", "1.0"])
+        .collect();
+    let approx = hare_count(&approx);
+    assert!(exact.status.success() && approx.status.success());
+    let ve = serde_json::from_str(stdout_of(&exact).trim()).unwrap();
+    let va = serde_json::from_str(stdout_of(&approx).trim()).unwrap();
+    let exact_of = |v: &serde_json::Value, name: &str| -> u64 {
+        v["counts"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c["motif"].as_str() == Some(name))
+            .and_then(|c| c["count"].as_u64())
+            .unwrap()
+    };
+    for cell in va["counts"].as_array().unwrap() {
+        let name = cell["motif"].as_str().unwrap();
+        let est = cell["estimate"].as_f64().unwrap();
+        let exact_count = exact_of(&ve, name) as f64;
+        assert_eq!(est, exact_count, "{name}: p=1.0 must be exact, bit for bit");
+        assert_eq!(cell["stderr"].as_f64(), Some(0.0), "{name}");
+        assert_eq!(cell["ci_lo"].as_f64(), Some(est), "{name}");
+        assert_eq!(cell["ci_hi"].as_f64(), Some(est), "{name}");
+    }
+}

@@ -63,10 +63,10 @@ pub fn count_node_all_range(
 }
 
 /// The fused scan proper, accumulating into caller-owned flat arrays so
-/// whole-graph drivers can fold into the shared counters once per run
-/// instead of once per node.
+/// whole-graph drivers (and the sampling engine's per-window tasks) can
+/// fold into the shared counters once per run instead of once per node.
 #[allow(clippy::too_many_arguments)]
-fn count_node_all_into(
+pub(crate) fn count_node_all_into(
     g: &TemporalGraph,
     u: NodeId,
     first_edge_range: std::ops::Range<usize>,

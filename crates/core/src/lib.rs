@@ -26,6 +26,10 @@
 //! * [`windowed::WindowedCounter`] — exact counts over a sliding time
 //!   window: edges expire, motif instances are retired with them, and a
 //!   bounded reorder buffer absorbs slightly out-of-order arrivals.
+//! * [`sample::SampledCounter`] — approximate counts by interval
+//!   sampling: windows of the time axis are kept with probability `p`,
+//!   counted exactly with the fused kernel, and rescaled into unbiased
+//!   per-motif estimates with confidence intervals.
 //!
 //! ## Quickstart
 //!
@@ -51,7 +55,7 @@
 //! assert_eq!(counts.matrix, hare::count_motifs(&graph, 500).matrix);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod counters;
@@ -62,6 +66,7 @@ pub mod fingerprint;
 pub mod fused;
 pub mod hare;
 pub mod motif;
+pub mod sample;
 pub mod scratch;
 pub mod streaming;
 pub mod sweep;
@@ -71,6 +76,7 @@ pub mod windows;
 pub use counters::{MotifCounts, MotifMatrix, PairCounter, StarCounter, TriCounter};
 pub use hare::{DegreeThreshold, Hare, HareConfig, Scheduling};
 pub use motif::{Motif, MotifCategory, StarType, TriType};
+pub use sample::{MotifEstimate, SampleConfig, SampledCounter, SampledCounts};
 pub use scratch::NeighborScratch;
 pub use windowed::WindowedCounter;
 

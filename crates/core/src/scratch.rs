@@ -8,7 +8,7 @@
 //! O(1); lookups are a single indexed load.
 //!
 //! Each neighbour's stamp and both direction counts live in **one**
-//! 12-byte [`Entry`], so a lookup or increment touches a single cache
+//! 12-byte `Entry`, so a lookup or increment touches a single cache
 //! line (the previous two-array layout paid two misses per random
 //! neighbour access). `u32` counts are safe: a count never exceeds the
 //! builder-asserted edge-count bound of `u32::MAX`.

@@ -47,7 +47,7 @@
 //! assert_eq!(ev, vec![(4, 2, Dir::Out), (8, 2, Dir::Out)]);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod builder;
@@ -56,9 +56,11 @@ mod types;
 
 pub mod gen;
 pub mod io;
+pub mod slices;
 pub mod stats;
 pub mod util;
 
 pub use builder::GraphBuilder;
-pub use graph::{Event, PairEvent, PairIndex, TemporalGraph};
+pub use graph::{Event, NodeEvents, NodeEventsIter, PairEvent, PairIndex, TemporalGraph};
+pub use slices::{NodeSlice, WindowSlices};
 pub use types::{Dir, EdgeId, NodeId, TemporalEdge, Timestamp};

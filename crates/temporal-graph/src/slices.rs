@@ -1,0 +1,441 @@
+//! Window-slicing index over the SoA event lanes: for each fixed-length
+//! window of the time axis, the per-node event ranges that start inside
+//! it.
+//!
+//! The approximate counting engine (`hare::sample`) partitions the
+//! timeline into windows of length `c·δ` and runs the exact fused kernel
+//! only on the windows a coin flip selects. The kernel's unit of work is
+//! a *first-edge position range* within one node's sequence `S_u`
+//! ([`crate::TemporalGraph::node_events`]), so the index this module
+//! builds answers exactly one query: *for window `k`, which contiguous
+//! ranges of which node sequences have their first edge inside `k`?*
+//!
+//! Because every `S_u` is time-sorted, the positions belonging to one
+//! window form a contiguous run per node, and a node contributes at most
+//! one [`NodeSlice`] per window. The index is CSR-shaped: one flat entry
+//! array grouped by window, plus per-window offsets. Construction costs
+//! one linear pass over the timestamp lanes (`O(|E|)`); querying a
+//! window is a slice borrow. Nothing is copied from the graph — a
+//! slice stores *positions*, and counting kernels read the lanes of the
+//! original graph through them, including the events *after* the window
+//! that δ-spanning instances need (the boundary extension is the
+//! kernel's own `t ≤ t₁ + δ` bound, not the slicer's concern).
+
+use crate::graph::TemporalGraph;
+use crate::types::{NodeId, Timestamp};
+
+/// One node's contiguous run of event positions whose timestamps fall in
+/// a given window: positions `start..end` of `S_node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSlice {
+    /// The node whose sequence the run belongs to.
+    pub node: NodeId,
+    /// First event position of the run (inclusive, local to `S_node`).
+    pub start: u32,
+    /// One past the last event position of the run (local to `S_node`).
+    pub end: u32,
+}
+
+impl NodeSlice {
+    /// The run as a `usize` range, ready for
+    /// [`crate::TemporalGraph::node_events`] + range-restricted kernels.
+    #[inline]
+    #[must_use]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+}
+
+/// Partition of the time axis into fixed-length windows, with the
+/// per-node event runs of each window (see the module docs).
+///
+/// Window `k` covers `[origin + k·len, origin + (k+1)·len)` where
+/// `origin` is the graph's earliest timestamp; every event of the graph
+/// belongs to exactly one window, so the per-window runs partition all
+/// event positions.
+///
+/// Storage is **sparse**: only windows with at least one kept run are
+/// materialised, so memory is `O(runs)` and never scales with the raw
+/// window count `num_windows` — a sparse graph whose time span is many
+/// orders of magnitude larger than the window length (millisecond
+/// timestamps, paper-scale δ) costs the same as a dense one.
+#[derive(Debug, Clone)]
+pub struct WindowSlices {
+    len: Timestamp,
+    origin: Timestamp,
+    num_windows: usize,
+    // Active windows in ascending order; `entries[offsets[i]..offsets[i+1]]`
+    // are the runs of window `window_ids[i]`. 64-bit ids: a sparse graph
+    // over a wide span can have far more than 2^32 (mostly dead) windows.
+    window_ids: Box<[u64]>,
+    offsets: Box<[usize]>,
+    entries: Box<[NodeSlice]>,
+}
+
+impl WindowSlices {
+    /// Slice `g`'s timeline into windows of length `len`.
+    ///
+    /// # Panics
+    /// Panics if `len <= 0`.
+    #[must_use]
+    pub fn build(g: &TemporalGraph, len: Timestamp) -> WindowSlices {
+        WindowSlices::build_filtered(g, len, |_| true)
+    }
+
+    /// [`WindowSlices::build`], materialising runs only for the windows
+    /// `keep` selects — the windows a sampling engine will never visit
+    /// cost nothing beyond the lane walk. Dropped windows still count
+    /// toward [`WindowSlices::num_windows`]; their
+    /// [`WindowSlices::slices_of`] is simply empty.
+    ///
+    /// # Panics
+    /// Panics if `len <= 0`.
+    #[must_use]
+    pub fn build_filtered(
+        g: &TemporalGraph,
+        len: Timestamp,
+        mut keep: impl FnMut(usize) -> bool,
+    ) -> WindowSlices {
+        let Some((origin, num_windows)) = scan_header(g, len) else {
+            return WindowSlices {
+                len,
+                origin: 0,
+                num_windows: 0,
+                window_ids: Box::default(),
+                offsets: vec![0].into_boxed_slice(),
+                entries: Box::default(),
+            };
+        };
+
+        // Pass 1: collect the kept runs (node-major order). The `keep`
+        // coin result is memoised per window id because consecutive runs
+        // of a node often share a window.
+        let mut runs: Vec<(u64, NodeSlice)> = Vec::new();
+        let mut memo: Option<(usize, bool)> = None;
+        scan(g, len, |k, node, range| {
+            let kept = match memo {
+                Some((mk, decision)) if mk == k => decision,
+                _ => {
+                    let decision = keep(k);
+                    memo = Some((k, decision));
+                    decision
+                }
+            };
+            if kept {
+                runs.push((
+                    k as u64,
+                    NodeSlice {
+                        node,
+                        start: range.start as u32,
+                        end: range.end as u32,
+                    },
+                ));
+            }
+        });
+
+        // Pass 2: group window-major (queries are per window). A stable
+        // sort keys only on the window id, keeping each window's runs in
+        // node-major discovery order.
+        runs.sort_by_key(|&(k, _)| k);
+        let mut window_ids: Vec<u64> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::new();
+        let mut entries: Vec<NodeSlice> = Vec::with_capacity(runs.len());
+        for (k, slice) in runs {
+            if window_ids.last() != Some(&k) {
+                window_ids.push(k);
+                offsets.push(entries.len());
+            }
+            entries.push(slice);
+        }
+        offsets.push(entries.len());
+
+        WindowSlices {
+            len,
+            origin,
+            num_windows,
+            window_ids: window_ids.into_boxed_slice(),
+            offsets: offsets.into_boxed_slice(),
+            entries: entries.into_boxed_slice(),
+        }
+    }
+
+    /// Number of windows tiling the graph's time span (0 for an empty
+    /// graph), *including* windows with no events or filtered out by
+    /// [`WindowSlices::build_filtered`].
+    #[inline]
+    #[must_use]
+    pub fn num_windows(&self) -> usize {
+        self.num_windows
+    }
+
+    /// The active windows — those holding at least one kept run — in
+    /// ascending order. This is the set a driver should iterate; all
+    /// other windows are empty by construction.
+    pub fn active_windows(&self) -> impl Iterator<Item = usize> + '_ {
+        self.window_ids.iter().map(|&k| k as usize)
+    }
+
+    /// Number of active windows (length of
+    /// [`WindowSlices::active_windows`]).
+    #[inline]
+    #[must_use]
+    pub fn num_active_windows(&self) -> usize {
+        self.window_ids.len()
+    }
+
+    /// The fixed window length this index was built with.
+    #[inline]
+    #[must_use]
+    pub fn window_len(&self) -> Timestamp {
+        self.len
+    }
+
+    /// Start of window 0 — the graph's earliest timestamp (0 for an
+    /// empty graph).
+    #[inline]
+    #[must_use]
+    pub fn origin(&self) -> Timestamp {
+        self.origin
+    }
+
+    /// Half-open time bounds `[start, end)` of window `k`.
+    ///
+    /// # Panics
+    /// Panics if `k >= num_windows()`.
+    #[inline]
+    #[must_use]
+    pub fn bounds(&self, k: usize) -> (Timestamp, Timestamp) {
+        assert!(k < self.num_windows(), "window {k} out of range");
+        let start = self.origin.saturating_add((k as Timestamp) * self.len);
+        (start, start.saturating_add(self.len))
+    }
+
+    /// The per-node event runs whose first edge lies in window `k`
+    /// (empty when no node is active in the window, or when `k` was
+    /// filtered out). `O(log active)` — drivers iterating every active
+    /// window should prefer [`WindowSlices::active_windows`].
+    ///
+    /// # Panics
+    /// Panics if `k >= num_windows()`.
+    #[must_use]
+    pub fn slices_of(&self, k: usize) -> &[NodeSlice] {
+        assert!(k < self.num_windows, "window {k} out of range");
+        match self.window_ids.binary_search(&(k as u64)) {
+            Ok(i) => &self.entries[self.offsets[i]..self.offsets[i + 1]],
+            Err(_) => &[],
+        }
+    }
+
+    /// Total number of `(node, window)` runs across all windows.
+    #[inline]
+    #[must_use]
+    pub fn num_runs(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The window grid parameters of `g` under window length `len`:
+/// `(origin, num_windows)`, or `None` for an empty graph.
+///
+/// # Panics
+/// Panics if `len <= 0`.
+#[must_use]
+pub fn scan_header(g: &TemporalGraph, len: Timestamp) -> Option<(Timestamp, usize)> {
+    assert!(len > 0, "window length must be positive");
+    g.min_time()
+        .map(|origin| (origin, (g.time_span() / len) as usize + 1))
+}
+
+/// Stream every `(window, node, position range)` run of `g` under window
+/// length `len` — the zero-materialisation form of [`WindowSlices`], for
+/// drivers that consume runs node-major in one pass (the sequential
+/// sampling engine). Runs partition each node's event positions; a node
+/// clustered into few windows yields few runs.
+///
+/// One linear walk of the timestamp lanes (`O(|E|)`): the window index
+/// advances incrementally across nearby jumps and falls back to a
+/// division only across large gaps.
+///
+/// # Panics
+/// Panics if `len <= 0`.
+pub fn scan(
+    g: &TemporalGraph,
+    len: Timestamp,
+    mut visit: impl FnMut(usize, NodeId, std::ops::Range<usize>),
+) {
+    let Some((origin, _)) = scan_header(g, len) else {
+        return;
+    };
+    for u in g.node_ids() {
+        let ts = g.node_events(u).ts_lane();
+        let mut i = 0usize;
+        let mut k: Timestamp = -1;
+        let mut window_end: Timestamp = Timestamp::MIN;
+        while i < ts.len() {
+            let t = ts[i];
+            if t >= window_end {
+                if k < 0 || t >= window_end.saturating_add(len.saturating_mul(8)) {
+                    // Large gap (or first event): one division.
+                    k = (t - origin) / len;
+                    window_end = origin
+                        .saturating_add(k.saturating_add(1).saturating_mul(len))
+                        .max(t);
+                } else {
+                    // Near jump: step the grid forward division-free.
+                    while t >= window_end {
+                        k += 1;
+                        window_end = window_end.saturating_add(len);
+                    }
+                }
+            }
+            let mut j = i + 1;
+            while j < ts.len() && ts[j] < window_end {
+                j += 1;
+            }
+            visit(k as usize, u, i..j);
+            i = j;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{erdos_renyi_temporal, paper_fig1_toy};
+
+    #[test]
+    fn runs_partition_every_event_position() {
+        for (g, len) in [
+            (paper_fig1_toy(), 5),
+            (paper_fig1_toy(), 100),
+            (erdos_renyi_temporal(20, 400, 2_000, 7), 137),
+        ] {
+            let ws = WindowSlices::build(&g, len);
+            // Reassemble each node's position set from the runs.
+            let mut covered: Vec<Vec<bool>> =
+                g.node_ids().map(|u| vec![false; g.degree(u)]).collect();
+            for k in 0..ws.num_windows() {
+                let (lo, hi) = ws.bounds(k);
+                for s in ws.slices_of(k) {
+                    assert!(s.start < s.end, "empty run stored");
+                    let ts = g.node_events(s.node).ts_lane();
+                    for i in s.range() {
+                        assert!(
+                            ts[i] >= lo && ts[i] < hi,
+                            "event at t={} outside window [{lo},{hi})",
+                            ts[i]
+                        );
+                        let seen = &mut covered[s.node as usize][i];
+                        assert!(!*seen, "position covered twice");
+                        *seen = true;
+                    }
+                }
+            }
+            for node_cov in covered {
+                assert!(node_cov.into_iter().all(|c| c), "position never covered");
+            }
+        }
+    }
+
+    #[test]
+    fn single_window_covers_whole_sequences() {
+        let g = paper_fig1_toy();
+        let ws = WindowSlices::build(&g, g.time_span() + 1);
+        assert_eq!(ws.num_windows(), 1);
+        let slices = ws.slices_of(0);
+        assert_eq!(
+            slices.len(),
+            g.node_ids().filter(|&u| g.degree(u) > 0).count()
+        );
+        for s in slices {
+            assert_eq!(s.range(), 0..g.degree(s.node));
+        }
+    }
+
+    #[test]
+    fn window_count_and_bounds_tile_the_span() {
+        let g = paper_fig1_toy(); // span [1, 21]
+        let ws = WindowSlices::build(&g, 10);
+        assert_eq!(ws.origin(), 1);
+        assert_eq!(ws.num_windows(), 3); // [1,11), [11,21), [21,31)
+        assert_eq!(ws.bounds(0), (1, 11));
+        assert_eq!(ws.bounds(2), (21, 31));
+        assert_eq!(ws.window_len(), 10);
+    }
+
+    #[test]
+    fn scan_agrees_with_build() {
+        let g = erdos_renyi_temporal(15, 300, 1_500, 4);
+        let ws = WindowSlices::build(&g, 90);
+        let mut scanned: Vec<(usize, NodeSlice)> = Vec::new();
+        scan(&g, 90, |k, node, range| {
+            scanned.push((
+                k,
+                NodeSlice {
+                    node,
+                    start: range.start as u32,
+                    end: range.end as u32,
+                },
+            ));
+        });
+        assert_eq!(scanned.len(), ws.num_runs());
+        let mut from_index: Vec<(usize, NodeSlice)> = (0..ws.num_windows())
+            .flat_map(|k| ws.slices_of(k).iter().map(move |&s| (k, s)))
+            .collect();
+        // scan is node-major, the index window-major: compare as sets.
+        let key = |&(k, s): &(usize, NodeSlice)| (s.node, s.start, k as u32);
+        scanned.sort_unstable_by_key(key);
+        from_index.sort_unstable_by_key(key);
+        assert_eq!(scanned, from_index);
+    }
+
+    #[test]
+    fn filtered_build_keeps_only_selected_windows() {
+        let g = erdos_renyi_temporal(15, 300, 1_500, 4);
+        let full = WindowSlices::build(&g, 90);
+        let odd = WindowSlices::build_filtered(&g, 90, |k| k % 2 == 1);
+        assert_eq!(odd.num_windows(), full.num_windows());
+        for k in 0..full.num_windows() {
+            if k % 2 == 1 {
+                assert_eq!(odd.slices_of(k), full.slices_of(k));
+            } else {
+                assert!(odd.slices_of(k).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn huge_sparse_span_costs_only_the_runs() {
+        // Two clusters separated by ~10^14 time units: the window count
+        // is astronomical but storage must stay O(runs).
+        let g = TemporalGraph::from_edges(vec![
+            crate::TemporalEdge::new(0, 1, 0),
+            crate::TemporalEdge::new(1, 2, 5),
+            crate::TemporalEdge::new(0, 2, 100_000_000_000_000),
+            crate::TemporalEdge::new(2, 1, 100_000_000_000_007),
+        ]);
+        let ws = WindowSlices::build(&g, 60);
+        assert!(ws.num_windows() > 1_000_000_000_000);
+        assert_eq!(ws.num_active_windows(), 2);
+        assert!(ws.num_runs() <= 8);
+        let active: Vec<usize> = ws.active_windows().collect();
+        assert_eq!(active[0], 0);
+        assert!(ws.slices_of(active[0]).len() + ws.slices_of(active[1]).len() == ws.num_runs());
+        // A dead window in the gap answers instantly with nothing.
+        assert!(ws.slices_of(12_345_678).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_has_no_windows() {
+        let g = TemporalGraph::from_edges(vec![]);
+        let ws = WindowSlices::build(&g, 60);
+        assert_eq!(ws.num_windows(), 0);
+        assert_eq!(ws.num_runs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_window_panics() {
+        let _ = WindowSlices::build(&paper_fig1_toy(), 0);
+    }
+}

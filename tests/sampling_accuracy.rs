@@ -1,9 +1,13 @@
-//! Accuracy validation of the sampling baselines (BTS, EWS): exactness
-//! in the degenerate configurations, approximate unbiasedness over
-//! seeds, and error decreasing with the sampling budget.
+//! Accuracy validation of the sampling estimators: the interval-sampling
+//! engine (`hare::sample`) and the baselines (BTS, EWS). Covers
+//! exactness in the degenerate configurations, approximate unbiasedness
+//! over seeds, error decreasing with the sampling budget, and the
+//! statistical coverage of the confidence intervals.
 
+use hare::sample::{SampleConfig, SampledCounter};
 use hare_baselines::{bts::BtsConfig, ews::EwsConfig, EstimateMatrix};
-use temporal_graph::gen::GenConfig;
+use proptest::prelude::*;
+use temporal_graph::gen::{arb, GenConfig};
 
 fn workload(seed: u64) -> temporal_graph::TemporalGraph {
     GenConfig {
@@ -113,4 +117,138 @@ fn samplers_only_estimate_do_not_mutate_exact_path() {
     let _ = hare_baselines::bts_pair_estimate(&g, delta, &BtsConfig::default());
     let after = hare::count_motifs(&g, delta);
     assert_eq!(before.matrix, after.matrix);
+}
+
+// ---- interval-sampling estimator (hare::sample) ----
+
+/// A moderately dense, mildly clustered workload where per-window motif
+/// mass is spread across many windows — the regime where the estimator's
+/// normal-approximation intervals are tight (docs/ESTIMATORS.md §4).
+fn smooth_workload() -> temporal_graph::TemporalGraph {
+    GenConfig {
+        nodes: 60,
+        edges: 4_000,
+        time_span: 80_000,
+        seed: 2,
+        ..GenConfig::default()
+    }
+    .generate()
+}
+
+/// Statistical coverage: across ≥ 50 sampling seeds, the 95% confidence
+/// intervals must cover the exact count for ≥ 90% of the motifs with a
+/// non-zero exact count (aggregated over seed × motif pairs; coverage
+/// correlates across motifs within one seed, so per-seed fractions swing
+/// while the aggregate is stable). Fully deterministic: fixed workload,
+/// fixed seed range.
+#[test]
+fn interval_sampling_ci_covers_exact_across_seeds() {
+    let g = smooth_workload();
+    let delta = 800;
+    let exact = hare::count_motifs(&g, delta);
+    let nonzero = exact.matrix.iter().filter(|&(_, n)| n > 0).count();
+    assert!(nonzero >= 30, "workload too sparse ({nonzero} motifs)");
+
+    let seeds = 60u64;
+    let mut covered = 0usize;
+    let mut cells = 0usize;
+    for seed in 0..seeds {
+        let est = SampledCounter::new(SampleConfig {
+            prob: 0.5,
+            window_factor: 4,
+            confidence: 0.95,
+            seed,
+            threads: 1,
+        })
+        .count(&g, delta);
+        for (m, n) in exact.matrix.iter() {
+            if n > 0 {
+                cells += 1;
+                covered += usize::from(est.get(m).covers(n));
+            }
+        }
+    }
+    let rate = covered as f64 / cells as f64;
+    assert!(
+        rate >= 0.90,
+        "95% CIs covered the exact count for only {:.1}% of {} seed x motif pairs",
+        rate * 100.0,
+        cells
+    );
+}
+
+/// Point estimates must be unbiased: the mean estimate over many seeds
+/// converges on the exact count, per motif category totals.
+#[test]
+fn interval_sampling_mean_estimate_converges_to_exact() {
+    let g = smooth_workload();
+    let delta = 800;
+    let exact = hare::count_motifs(&g, delta).total() as f64;
+    let runs = 50u64;
+    let mean: f64 = (0..runs)
+        .map(|seed| {
+            SampledCounter::new(SampleConfig {
+                prob: 0.3,
+                window_factor: 4,
+                seed,
+                ..SampleConfig::default()
+            })
+            .count(&g, delta)
+            .total_estimate()
+        })
+        .sum::<f64>()
+        / runs as f64;
+    let rel = (mean - exact).abs() / exact;
+    assert!(
+        rel < 0.1,
+        "mean estimate {mean:.1} drifts from exact {exact:.1} (rel {rel:.3})"
+    );
+}
+
+proptest! {
+    /// `p = 1.0` keeps every window, so the estimator must degenerate to
+    /// the exact counts **bit for bit** on arbitrary graphs (timestamp
+    /// ties, self-loop stripping, empty graphs, any δ and window factor).
+    #[test]
+    fn interval_sampling_p_one_is_exact_on_arbitrary_graphs(
+        g in arb::graph(10, 60, 80),
+        delta in 0i64..40,
+        window_factor in 1i64..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let exact = hare::count_motifs(&g, delta);
+        let est = SampledCounter::new(SampleConfig {
+            prob: 1.0,
+            window_factor,
+            seed,
+            ..SampleConfig::default()
+        })
+        .count(&g, delta);
+        prop_assert_eq!(est.as_exact(), Some(exact.matrix));
+        for (m, e) in est.iter() {
+            prop_assert_eq!(e.estimate, exact.get(m) as f64);
+            prop_assert_eq!(e.stderr, 0.0);
+        }
+    }
+
+    /// The window-parallel driver must be bit-identical to the
+    /// sequential one-shot for any probability and thread count.
+    #[test]
+    fn interval_sampling_parallel_matches_sequential(
+        g in arb::graph(12, 80, 100),
+        prob_i in 0usize..4,
+        threads in 2usize..5,
+    ) {
+        let prob = [0.2f64, 0.5, 0.9, 1.0][prob_i];
+        let delta = 20;
+        let base = SampleConfig {
+            prob,
+            window_factor: 3,
+            seed: 11,
+            ..SampleConfig::default()
+        };
+        let seq = SampledCounter::new(SampleConfig { threads: 1, ..base.clone() }).count(&g, delta);
+        let par = SampledCounter::new(SampleConfig { threads, ..base }).count(&g, delta);
+        prop_assert_eq!(seq, par);
+    }
 }
