@@ -1,0 +1,198 @@
+//! Serving-layer benchmark for `hare-serve`: cold vs cache-hit query
+//! latency and request throughput under concurrent clients, against an
+//! in-process server on an ephemeral port.
+//!
+//! The output schema (`hare-bench/serve/v1`) is documented in the
+//! `hare_bench` crate docs and `docs/SERVICE.md`. The binary also
+//! asserts the service's contracts — the served body equals the
+//! library-rendered `hare::report` body byte-for-byte, `p = 1.0`
+//! approximate estimates equal the exact counts, and cache hits return
+//! the identical bytes — so a CI run fails on correctness regressions,
+//! not just slowdowns. The full (non `--quick`) run additionally
+//! asserts the cache-hit latency is at least 10× below cold exact
+//! latency, and its snapshot is committed at the repo root
+//! (`BENCH_SERVE_<pr>.json`).
+//!
+//! ```text
+//! cargo run --release -p hare-bench --bin exp_serve -- \
+//!     [--out BENCH_SERVE.json] [--dataset CollegeMsg] [--scale N] \
+//!     [--delta N] [--samples N] [--requests N] [--quick]
+//! ```
+//!
+//! `--quick` drops to 5 timing samples, 25 requests per client level
+//! and the CollegeMsg/8 workload — the CI smoke configuration.
+
+use std::time::Instant;
+
+use hare_serve::http::client;
+use hare_serve::{Server, ServerConfig};
+use serde_json::{json, Value};
+
+/// Median / mean / min over raw second samples.
+fn summarize(mut xs: Vec<f64>) -> (f64, f64, f64) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let median = xs[xs.len() / 2];
+    (median, mean, xs[0])
+}
+
+fn latency_value(xs: Vec<f64>) -> Value {
+    let (median, mean, min) = summarize(xs);
+    json!({"median_s": median, "mean_s": mean, "min_s": min})
+}
+
+fn main() {
+    let args = hare_bench::Args::parse();
+    let quick = args.flag("quick");
+    let out = args.get("out").unwrap_or("BENCH_SERVE.json").to_string();
+    let dataset = args.get("dataset").unwrap_or("CollegeMsg").to_string();
+    let scale: usize = args.get_num("scale", if quick { 8 } else { 1 });
+    let delta: i64 = args.get_num("delta", 600);
+    let samples: usize = args.get_num("samples", if quick { 5 } else { 30 });
+    let requests: usize = args.get_num("requests", if quick { 25 } else { 200 });
+    let client_levels = [1usize, 4, 8];
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 8,
+        queue_capacity: 256,
+        preload: vec![(dataset.clone(), scale)],
+        ..ServerConfig::default()
+    })
+    .expect("bind server");
+    let addr = server.local_addr().expect("addr");
+    let state = server.state();
+    let handle = server.spawn();
+    let target = format!("/count?dataset={dataset}&delta={delta}");
+
+    // --- Correctness gates -------------------------------------------------
+    // Served body == library-rendered report body, byte for byte.
+    let entry = state.catalog.get(&dataset).expect("preloaded");
+    let matrix =
+        hare::Hare::new(hare::HareConfig::default()).count_matrix(&entry.graph, delta, None);
+    let expect = hare::report::render(&hare::report::exact_body(
+        entry.stats.num_nodes,
+        entry.stats.num_edges,
+        delta,
+        &matrix,
+        None,
+    ));
+    let cold = client::get(addr, &target).expect("cold GET");
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    assert_eq!(cold.text(), expect, "served body != hare::report bytes");
+    // A cache hit returns the identical bytes.
+    let hit = client::get(addr, &target).expect("hit GET");
+    assert_eq!(hit.body, cold.body, "cache hit changed the body");
+    // p = 1.0 approx equals exact, cell for cell.
+    let approx = client::get(addr, &format!("{target}&engine=approx&prob=1.0"))
+        .expect("approx GET")
+        .json()
+        .expect("approx JSON");
+    let exact = cold.json().expect("exact JSON");
+    for (a, e) in approx["counts"]
+        .as_array()
+        .expect("cells")
+        .iter()
+        .zip(exact["counts"].as_array().expect("cells"))
+    {
+        assert_eq!(
+            a["estimate"].as_f64(),
+            e["count"].as_u64().map(|n| n as f64),
+            "p=1.0 approx differs from exact at {}",
+            a["motif"]
+        );
+    }
+    println!("correctness gates passed (report bytes, cache identity, p=1 exactness)");
+
+    // --- Cold vs cache-hit latency ----------------------------------------
+    let mut cold_s = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        assert_eq!(
+            client::post(addr, "/cache/clear", "")
+                .expect("clear")
+                .status,
+            200
+        );
+        let t0 = Instant::now();
+        let resp = client::get(addr, &target).expect("cold GET");
+        cold_s.push(t0.elapsed().as_secs_f64());
+        assert_eq!(resp.status, 200);
+    }
+    let mut hit_s = Vec::with_capacity(samples);
+    let _ = client::get(addr, &target).expect("warm");
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let resp = client::get(addr, &target).expect("hit GET");
+        hit_s.push(t0.elapsed().as_secs_f64());
+        assert_eq!(resp.status, 200);
+    }
+    let (cold_median, _, _) = summarize(cold_s.clone());
+    let (hit_median, _, _) = summarize(hit_s.clone());
+    let hit_speedup = cold_median / hit_median;
+    println!(
+        "cold {} | cache hit {} | speedup {hit_speedup:.1}x",
+        hare_bench::human_secs(cold_median),
+        hare_bench::human_secs(hit_median),
+    );
+    if !quick {
+        // Acceptance gate for the committed snapshot: serving from the
+        // cache must beat recomputing by at least an order of magnitude.
+        assert!(
+            hit_speedup >= 10.0,
+            "cache-hit latency only {hit_speedup:.1}x below cold"
+        );
+    }
+
+    // --- Throughput at 1/4/8 concurrent clients (cache-hit path) ----------
+    let mut throughput: Vec<Value> = Vec::new();
+    for &clients in &client_levels {
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                scope.spawn(|| {
+                    for _ in 0..requests {
+                        let resp = client::get(addr, &target).expect("GET");
+                        assert_eq!(resp.status, 200);
+                    }
+                });
+            }
+        });
+        let total_s = t0.elapsed().as_secs_f64();
+        let rps = (clients * requests) as f64 / total_s;
+        println!("{clients} client(s) x {requests} requests: {rps:.0} req/s");
+        throughput.push(json!({
+            "clients": clients,
+            "requests": requests,
+            "total_s": total_s,
+            "rps": rps,
+        }));
+    }
+
+    let cache = state.cache.stats();
+    let server_stats = json!({
+        "workers": 8,
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+        "rejected": state.metrics.rejected(),
+    });
+    let cold_v = latency_value(cold_s);
+    let hit_v = latency_value(hit_s);
+    let throughput_v = Value::from(throughput);
+    let doc = json!({
+        "schema": "hare-bench/serve/v1",
+        "dataset": dataset,
+        "scale": scale,
+        "delta": delta,
+        "quick": quick,
+        "samples": samples,
+        "cold_exact_s": cold_v,
+        "cache_hit_s": hit_v,
+        "hit_speedup": hit_speedup,
+        "throughput": throughput_v,
+        "server": server_stats,
+    });
+    std::fs::write(&out, format!("{doc}\n")).expect("write serve snapshot");
+    println!("wrote {out}");
+
+    handle.shutdown_and_wait().expect("clean shutdown");
+}

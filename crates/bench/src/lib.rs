@@ -7,6 +7,7 @@
 //! |---|---|
 //! | `exp_perf`    | Perf trajectory snapshot (`BENCH_<n>.json` per PR) |
 //! | `exp_approx`  | Accuracy-vs-speedup sweep of the sampling estimator |
+//! | `exp_serve`   | `hare-serve` latency/throughput (cold vs cache hit) |
 //! | `exp_table2`  | Table II — dataset statistics |
 //! | `exp_fig9`    | Fig. 9 — WikiTalk degree skew & per-node cost |
 //! | `exp_fig10`   | Fig. 10 — FAST vs EX count matrices |
@@ -93,6 +94,39 @@
 //! `prob = 1.0` rows reproduce the exact counts bit-identically and
 //! that coverage never collapses (a broken variance estimate or rescale
 //! fails CI).
+//!
+//! ## Service snapshot schema (`exp_serve`)
+//!
+//! `exp_serve` starts an in-process `hare-serve` on an ephemeral port
+//! and measures `GET /count` end to end (TCP connect → full body).
+//! Schema `hare-bench/serve/v1` (default `BENCH_SERVE.json`; override
+//! with `--out`):
+//!
+//! ```json
+//! {
+//!   "schema": "hare-bench/serve/v1",
+//!   "dataset": "CollegeMsg", "scale": 1, "delta": 600,
+//!   "quick": false, "samples": 30,
+//!   "cold_exact_s":  { "median_s": 0.0019, "mean_s": 0.0020, "min_s": 0.0017 },
+//!   "cache_hit_s":   { "median_s": 0.00004, "mean_s": 0.00004, "min_s": 0.00003 },
+//!   "hit_speedup": 52.8,
+//!   "throughput": [
+//!     { "clients": 1, "requests": 200, "total_s": 0.011, "rps": 17844.0 }
+//!   ],
+//!   "server": { "workers": 8, "cache_hits": 2632, "cache_misses": 32, "rejected": 0 }
+//! }
+//! ```
+//!
+//! * `cold_exact_s` — per-request latency with the result cache cleared
+//!   before every sample (the query recomputes); `cache_hit_s` — the
+//!   same query answered from the LRU cache. `hit_speedup` is the ratio
+//!   of medians, asserted ≥ 10× in full (non-`--quick`) runs.
+//! * `throughput` — wall-clock requests/second with N concurrent
+//!   clients hammering the cache-hit path (`--requests` each).
+//! * The binary also asserts the serving contracts before timing:
+//!   served bytes equal the library-rendered `hare::report` body, cache
+//!   hits return identical bytes, and `p = 1.0` approximate estimates
+//!   equal the exact counts — so CI fails on correctness drift.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -60,6 +60,12 @@ STREAMING (sliding-window) MODE:
                         behind the newest timestamp (default 0); later
                         arrivals are dropped and reported, not fatal
     --tick SECONDS      tick interval in event time (default: the window)
+
+SERVICE PARITY:
+    The long-running `hare-serve` daemon answers the same queries over
+    HTTP with bodies byte-identical to this tool's --json --no-timing
+    output (both render via the shared `hare::report` wire schema).
+    See docs/SERVICE.md.
 ";
 
 #[derive(Debug)]
@@ -193,11 +199,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     if o.scale == 0 {
         return Err("--scale must be at least 1".into());
     }
-    if !matches!(o.only.as_str(), "all" | "pairs" | "stars" | "triangles") {
-        return Err(format!(
-            "--only must be all|pairs|stars|triangles, got {:?}",
-            o.only
-        ));
+    if let Err(e) = hare::report::parse_only(&o.only) {
+        return Err(format!("--only {e}"));
     }
     if let Some(w) = o.window {
         let delta = o.delta.ok_or("--window requires --delta")?;
@@ -296,27 +299,11 @@ struct DropStats {
 }
 
 fn emit_tick(o: &Opts, wc: &WindowedCounter, tick_t: Timestamp, drops: &DropStats) {
-    let matrix = wc.counts();
     if o.json {
-        let cells: Vec<serde_json::Value> = matrix
-            .iter()
-            .map(|(m, n)| serde_json::json!({"motif": m.to_string(), "count": n}))
-            .collect();
-        println!(
-            "{}",
-            serde_json::json!({
-                "tick": tick_t,
-                "delta": wc.delta(),
-                "window": wc.window(),
-                "slack": wc.slack(),
-                "live_edges": wc.live_edges(),
-                "late_dropped": drops.late,
-                "self_loops_dropped": drops.self_loops,
-                "total": matrix.total(),
-                "counts": cells,
-            })
-        );
+        let body = hare::report::windowed_tick_body(tick_t, wc, drops.late, drops.self_loops);
+        print!("{}", hare::report::render(&body));
     } else {
+        let matrix = wc.counts();
         println!(
             "tick t={tick_t} | live edges {} | total motifs {} | late dropped {}",
             wc.live_edges(),
@@ -415,44 +402,16 @@ fn run_approx(
     let secs = start.elapsed().as_secs_f64();
 
     if o.json {
-        let cells: Vec<serde_json::Value> = est
-            .iter()
-            .map(|(m, e)| {
-                serde_json::json!({
-                    "motif": m.to_string(),
-                    "estimate": e.estimate,
-                    "stderr": e.stderr,
-                    "ci_lo": e.ci_lo,
-                    "ci_hi": e.ci_hi,
-                })
-            })
-            .collect();
-        let approx = serde_json::json!({
-            "prob": est.prob,
-            "confidence": est.confidence,
-            "window_factor": o.window_factor,
-            "window_len": est.window_len,
-            "seed": o.seed,
-            "windows_total": est.windows_total,
-            "windows_sampled": est.windows_sampled,
-        });
-        let mut obj = serde_json::json!({
-            "delta": delta,
-            "nodes": stats.num_nodes,
-            "edges": stats.num_edges,
-        });
-        if let Some(map) = obj.as_object_mut() {
-            map.insert("approx".into(), approx);
-            if !o.no_timing {
-                map.insert("seconds".into(), serde_json::Value::from(secs));
-            }
-            map.insert(
-                "total_estimate".into(),
-                serde_json::Value::from(est.total_estimate()),
-            );
-            map.insert("counts".into(), serde_json::Value::from(cells));
-        }
-        println!("{obj}");
+        let body = hare::report::approx_body(
+            stats.num_nodes,
+            stats.num_edges,
+            delta,
+            o.window_factor,
+            o.seed,
+            &est,
+            (!o.no_timing).then_some(secs),
+        );
+        print!("{}", hare::report::render(&body));
     } else {
         let timing = if o.no_timing {
             String::new()
@@ -514,15 +473,9 @@ fn run(o: &Opts) -> Result<(), String> {
     let stats = GraphStats::compute(&graph);
     if o.stats {
         if o.json {
-            println!(
+            print!(
                 "{}",
-                serde_json::json!({
-                    "nodes": stats.num_nodes,
-                    "edges": stats.num_edges,
-                    "time_span": stats.time_span,
-                    "max_degree": stats.max_degree,
-                    "mean_degree": stats.mean_degree,
-                })
+                hare::report::render(&hare::report::graph_stats_body(&stats))
             );
         } else {
             println!(
@@ -546,49 +499,21 @@ fn run(o: &Opts) -> Result<(), String> {
         num_threads: o.threads,
         ..HareConfig::default()
     });
-    let matrix = match o.only.as_str() {
-        "pairs" => {
-            let pc = engine.count_pair(&graph, delta);
-            let mut mx = hare::MotifMatrix::default();
-            pc.add_to_matrix_pair_based(&mut mx);
-            mx
-        }
-        "triangles" => {
-            let tc = engine.count_tri(&graph, delta);
-            let mut mx = hare::MotifMatrix::default();
-            tc.add_to_matrix(&mut mx);
-            mx
-        }
-        "stars" => {
-            let (sc, _) = engine.count_star_pair(&graph, delta);
-            let mut mx = hare::MotifMatrix::default();
-            sc.add_to_matrix(&mut mx);
-            mx
-        }
-        _ => engine.count_all(&graph, delta).matrix,
-    };
+    let only = hare::report::parse_only(&o.only).expect("validated in parse_args");
+    let matrix = engine.count_matrix(&graph, delta, only);
     let secs = start.elapsed().as_secs_f64();
 
     if o.json {
-        let cells: Vec<serde_json::Value> = matrix
-            .iter()
-            .map(|(m, n)| serde_json::json!({"motif": m.to_string(), "count": n}))
-            .collect();
-        let mut obj = serde_json::json!({
-            "delta": delta,
-            "nodes": stats.num_nodes,
-            "edges": stats.num_edges,
-        });
-        if let Some(map) = obj.as_object_mut() {
-            // Timing is the one nondeterministic field; --no-timing omits
-            // it so output is byte-stable (golden-file tests rely on it).
-            if !o.no_timing {
-                map.insert("seconds".into(), serde_json::Value::from(secs));
-            }
-            map.insert("total".into(), serde_json::Value::from(matrix.total()));
-            map.insert("counts".into(), serde_json::Value::from(cells));
-        }
-        println!("{obj}");
+        // Timing is the one nondeterministic field; --no-timing omits
+        // it so output is byte-stable (golden-file tests rely on it).
+        let body = hare::report::exact_body(
+            stats.num_nodes,
+            stats.num_edges,
+            delta,
+            &matrix,
+            (!o.no_timing).then_some(secs),
+        );
+        print!("{}", hare::report::render(&body));
     } else {
         if o.no_timing {
             println!(

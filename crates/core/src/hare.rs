@@ -201,6 +201,44 @@ impl Hare {
         crate::sample::SampledCounter::new(cfg).count(g, delta)
     }
 
+    /// Count into the canonical 6×6 grid, optionally restricted to one
+    /// motif category (`None` = all 36 motifs). This is the single
+    /// entry point behind every `--only` / `?only=` query shape, so the
+    /// CLI and the HTTP service cannot drift apart: `Some(Pair)` runs
+    /// FAST-Pair over pair slots, `Some(Star)` / `Some(Triangle)` run
+    /// the corresponding kernel per center node, `None` runs the fused
+    /// scan. Results are bit-identical across thread counts.
+    #[must_use]
+    pub fn count_matrix(
+        &self,
+        g: &TemporalGraph,
+        delta: Timestamp,
+        only: Option<crate::MotifCategory>,
+    ) -> crate::MotifMatrix {
+        use crate::MotifCategory;
+        match only {
+            Some(MotifCategory::Pair) => {
+                let pc = self.count_pair(g, delta);
+                let mut mx = crate::MotifMatrix::default();
+                pc.add_to_matrix_pair_based(&mut mx);
+                mx
+            }
+            Some(MotifCategory::Triangle) => {
+                let tc = self.count_tri(g, delta);
+                let mut mx = crate::MotifMatrix::default();
+                tc.add_to_matrix(&mut mx);
+                mx
+            }
+            Some(MotifCategory::Star) => {
+                let (sc, _) = self.count_star_pair(g, delta);
+                let mut mx = crate::MotifMatrix::default();
+                sc.add_to_matrix(&mut mx);
+                mx
+            }
+            None => self.count_all(g, delta).matrix,
+        }
+    }
+
     /// Count star and pair motifs only (parallel FAST-Star).
     #[must_use]
     pub fn count_star_pair(

@@ -30,6 +30,9 @@
 //!   sampling: windows of the time axis are kept with probability `p`,
 //!   counted exactly with the fused kernel, and rescaled into unbiased
 //!   per-motif estimates with confidence intervals.
+//! * [`report`] — the canonical JSON wire schema, built in one place so
+//!   `hare-count --json` and the `hare-serve` HTTP service emit
+//!   byte-identical bodies for the same query.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +69,7 @@ pub mod fingerprint;
 pub mod fused;
 pub mod hare;
 pub mod motif;
+pub mod report;
 pub mod sample;
 pub mod scratch;
 pub mod streaming;

@@ -1,0 +1,291 @@
+//! The canonical JSON wire schema, defined once for every front-end.
+//!
+//! `hare-count --json` and the `hare-serve` HTTP service emit the *same*
+//! bytes for the same query — a differential guarantee the end-to-end
+//! suites pin byte-for-byte. That only stays true if the schema lives in
+//! exactly one place: this module builds every response body, and the
+//! front-ends do nothing but print (CLI) or write (server) the rendered
+//! line.
+//!
+//! Four body shapes exist, one per query family:
+//!
+//! * [`exact_body`] — exact counting (`GET /count`, batch `hare-count`):
+//!   `{"delta","nodes","edges",["seconds"],"total","counts":[{"motif","count"}×36]}`
+//! * [`approx_body`] — interval-sampling estimation (`engine=approx`,
+//!   `hare-count --approx`): `{"delta","nodes","edges","approx":{...},
+//!   ["seconds"],"total_estimate","counts":[{"motif","estimate","stderr","ci_lo","ci_hi"}×36]}`
+//! * [`windowed_tick_body`] — one sliding-window tick (streaming CLI
+//!   mode, `GET /sessions/{id}`): `{"tick","delta","window","slack",
+//!   "live_edges","late_dropped","self_loops_dropped","total","counts"}`
+//! * [`graph_stats_body`] — graph shape only (`hare-count --stats`,
+//!   dataset registration responses).
+//!
+//! Timing (`"seconds"`) is the single nondeterministic field; it is
+//! `Option`al and omitted under `--no-timing` — and *always* omitted by
+//! the server, whose bodies must be cacheable and byte-stable. Rendering
+//! goes through [`render`], which appends the trailing newline so a
+//! served body is identical to the CLI's stdout.
+
+use serde_json::Value;
+
+use crate::counters::MotifMatrix;
+use crate::motif::MotifCategory;
+use crate::sample::SampledCounts;
+use crate::windowed::WindowedCounter;
+use temporal_graph::stats::GraphStats;
+use temporal_graph::Timestamp;
+
+/// The 36 exact-count cells, row-major over the canonical grid:
+/// `[{"motif":"M11","count":n}, ...]`.
+#[must_use]
+pub fn count_cells(matrix: &MotifMatrix) -> Value {
+    let cells: Vec<Value> = matrix
+        .iter()
+        .map(|(m, n)| serde_json::json!({"motif": m.to_string(), "count": n}))
+        .collect();
+    Value::from(cells)
+}
+
+/// The exact-count response body. `seconds` is omitted when `None`
+/// (byte-stable output; golden files and the server cache rely on it).
+#[must_use]
+pub fn exact_body(
+    nodes: usize,
+    edges: usize,
+    delta: Timestamp,
+    matrix: &MotifMatrix,
+    seconds: Option<f64>,
+) -> Value {
+    let mut obj = serde_json::json!({
+        "delta": delta,
+        "nodes": nodes,
+        "edges": edges,
+    });
+    if let Some(map) = obj.as_object_mut() {
+        if let Some(secs) = seconds {
+            map.insert("seconds".into(), Value::from(secs));
+        }
+        map.insert("total".into(), Value::from(matrix.total()));
+        map.insert("counts".into(), count_cells(matrix));
+    }
+    obj
+}
+
+/// The approximate-count response body: per-motif estimate, standard
+/// error and confidence interval, plus the sampling metadata block.
+#[must_use]
+pub fn approx_body(
+    nodes: usize,
+    edges: usize,
+    delta: Timestamp,
+    window_factor: i64,
+    seed: u64,
+    est: &SampledCounts,
+    seconds: Option<f64>,
+) -> Value {
+    let cells: Vec<Value> = est
+        .iter()
+        .map(|(m, e)| {
+            serde_json::json!({
+                "motif": m.to_string(),
+                "estimate": e.estimate,
+                "stderr": e.stderr,
+                "ci_lo": e.ci_lo,
+                "ci_hi": e.ci_hi,
+            })
+        })
+        .collect();
+    let approx = serde_json::json!({
+        "prob": est.prob,
+        "confidence": est.confidence,
+        "window_factor": window_factor,
+        "window_len": est.window_len,
+        "seed": seed,
+        "windows_total": est.windows_total,
+        "windows_sampled": est.windows_sampled,
+    });
+    let mut obj = serde_json::json!({
+        "delta": delta,
+        "nodes": nodes,
+        "edges": edges,
+    });
+    if let Some(map) = obj.as_object_mut() {
+        map.insert("approx".into(), approx);
+        if let Some(secs) = seconds {
+            map.insert("seconds".into(), Value::from(secs));
+        }
+        map.insert("total_estimate".into(), Value::from(est.total_estimate()));
+        map.insert("counts".into(), Value::from(cells));
+    }
+    obj
+}
+
+/// One sliding-window tick: the live-window motif matrix of `wc` as of
+/// event time `tick`, with the stream's cumulative drop counters.
+#[must_use]
+pub fn windowed_tick_body(
+    tick: Timestamp,
+    wc: &WindowedCounter,
+    late_dropped: u64,
+    self_loops_dropped: u64,
+) -> Value {
+    let matrix = wc.counts();
+    serde_json::json!({
+        "tick": tick,
+        "delta": wc.delta(),
+        "window": wc.window(),
+        "slack": wc.slack(),
+        "live_edges": wc.live_edges(),
+        "late_dropped": late_dropped,
+        "self_loops_dropped": self_loops_dropped,
+        "total": matrix.total(),
+        "counts": count_cells(&matrix),
+    })
+}
+
+/// Graph shape statistics (`hare-count --stats --json`).
+#[must_use]
+pub fn graph_stats_body(stats: &GraphStats) -> Value {
+    serde_json::json!({
+        "nodes": stats.num_nodes,
+        "edges": stats.num_edges,
+        "time_span": stats.time_span,
+        "max_degree": stats.max_degree,
+        "mean_degree": stats.mean_degree,
+    })
+}
+
+/// Render a body exactly as every front-end emits it: the compact JSON
+/// document plus one trailing newline (the CLI's `println!`). Server
+/// responses use these bytes verbatim, which is what makes them
+/// byte-identical to `hare-count --json --no-timing` output.
+#[must_use]
+pub fn render(body: &Value) -> String {
+    format!("{body}\n")
+}
+
+/// Parse a `--only` / `?only=` selector into the engine subset it names:
+/// `Ok(None)` = all 36 motifs, `Ok(Some(cat))` = that category only,
+/// `Err` = not a valid selector. The accepted strings (`all`, `pairs`,
+/// `stars`, `triangles`) are part of the wire schema.
+pub fn parse_only(s: &str) -> Result<Option<MotifCategory>, String> {
+    match s {
+        "all" => Ok(None),
+        "pairs" => Ok(Some(MotifCategory::Pair)),
+        "stars" => Ok(Some(MotifCategory::Star)),
+        "triangles" => Ok(Some(MotifCategory::Triangle)),
+        other => Err(format!("must be all|pairs|stars|triangles, got {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::{SampleConfig, SampledCounter};
+    use crate::Hare;
+    use temporal_graph::gen::paper_fig1_toy;
+    use temporal_graph::stats::GraphStats;
+
+    #[test]
+    fn exact_body_bytes_are_pinned() {
+        // The wire schema is golden-tested once, here: field order,
+        // motif order, and number formatting must never drift — both
+        // front-ends inherit these bytes.
+        let g = paper_fig1_toy();
+        let matrix = crate::count_motifs(&g, 10).matrix;
+        let body = render(&exact_body(g.num_nodes(), g.num_edges(), 10, &matrix, None));
+        assert!(
+            body.starts_with(r#"{"delta":10,"nodes":5,"edges":12,"total":27,"counts":[{"motif":"M11","count":0},"#),
+            "prefix drifted: {body}"
+        );
+        assert!(body.ends_with("}]}\n"), "suffix drifted: {body}");
+        assert!(body.contains(r#"{"motif":"M65","count":1}"#), "{body}");
+        assert_eq!(body.matches("\"motif\"").count(), 36);
+        // Timing present iff requested, between "edges" and "total".
+        let timed = render(&exact_body(5, 12, 10, &matrix, Some(0.25)));
+        assert!(
+            timed.contains(r#""edges":12,"seconds":0.25,"total":27"#),
+            "{timed}"
+        );
+    }
+
+    #[test]
+    fn approx_body_matches_schema_and_p1_is_exact() {
+        let g = paper_fig1_toy();
+        let cfg = SampleConfig {
+            prob: 1.0,
+            window_factor: 3,
+            seed: 9,
+            ..SampleConfig::default()
+        };
+        let est = SampledCounter::new(cfg).count(&g, 10);
+        let body = render(&approx_body(
+            g.num_nodes(),
+            g.num_edges(),
+            10,
+            3,
+            9,
+            &est,
+            None,
+        ));
+        assert!(
+            body.starts_with(r#"{"delta":10,"nodes":5,"edges":12,"approx":{"prob":1.0,"confidence":0.95,"window_factor":3,"#),
+            "prefix drifted: {body}"
+        );
+        assert!(body.contains(r#""total_estimate":27.0"#), "{body}");
+        assert!(
+            body.contains(r#"{"motif":"M65","estimate":1.0,"stderr":0.0,"ci_lo":1.0,"ci_hi":1.0}"#),
+            "{body}"
+        );
+        assert_eq!(body.matches("\"motif\"").count(), 36);
+    }
+
+    #[test]
+    fn windowed_tick_body_matches_schema() {
+        let mut wc = WindowedCounter::new(20, 100);
+        for (s, d, t) in [(0u32, 1u32, 10i64), (1, 2, 12), (2, 0, 14)] {
+            wc.push(s, d, t).unwrap();
+        }
+        wc.flush();
+        let body = render(&windowed_tick_body(14, &wc, 2, 1));
+        assert!(
+            body.starts_with(r#"{"tick":14,"delta":20,"window":100,"slack":0,"live_edges":3,"late_dropped":2,"self_loops_dropped":1,"total":1,"counts":["#),
+            "prefix drifted: {body}"
+        );
+        assert_eq!(body.matches("\"motif\"").count(), 36);
+    }
+
+    #[test]
+    fn graph_stats_body_matches_schema() {
+        let g = paper_fig1_toy();
+        let body = render(&graph_stats_body(&GraphStats::compute(&g)));
+        assert!(
+            body.starts_with(r#"{"nodes":5,"edges":12,"time_span":20,"max_degree":7,"#),
+            "drifted: {body}"
+        );
+        assert!(body.contains("\"mean_degree\":"), "{body}");
+    }
+
+    #[test]
+    fn parse_only_covers_the_wire_strings() {
+        assert_eq!(parse_only("all"), Ok(None));
+        assert_eq!(parse_only("pairs"), Ok(Some(MotifCategory::Pair)));
+        assert_eq!(parse_only("stars"), Ok(Some(MotifCategory::Star)));
+        assert_eq!(parse_only("triangles"), Ok(Some(MotifCategory::Triangle)));
+        assert!(parse_only("wedges").is_err());
+        assert!(parse_only("Pairs").is_err(), "selectors are case-sensitive");
+    }
+
+    #[test]
+    fn count_matrix_subsets_agree_with_body_totals() {
+        let g = paper_fig1_toy();
+        let engine = Hare::with_threads(1);
+        let full = engine.count_matrix(&g, 10, None);
+        for only in ["pairs", "stars", "triangles"] {
+            let cat = parse_only(only).unwrap();
+            let sub = engine.count_matrix(&g, 10, cat);
+            assert_eq!(sub.total(), full.category_total(cat.unwrap()), "{only}");
+        }
+        assert_eq!(full.total(), 27);
+    }
+}

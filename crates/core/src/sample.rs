@@ -508,11 +508,11 @@ pub fn window_kept(seed: u64, k: u64, prob: f64) -> bool {
     if prob >= 1.0 {
         return true;
     }
-    let mut x = seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^= x >> 31;
+    // One shared SplitMix64 step (same definition as
+    // `TemporalGraph::fingerprint`): state = seed, value = k spread by
+    // the golden-ratio constant. Bit-identical to the historical inline
+    // form, so seeded runs reproduce across versions.
+    let x = temporal_graph::util::splitmix64_mix(seed, k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     // Top 53 bits as a uniform double in [0, 1).
     ((x >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < prob
 }

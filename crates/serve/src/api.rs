@@ -1,0 +1,592 @@
+//! Request routing and handlers: HTTP in, canonical JSON bodies out.
+//!
+//! Every success body is built by [`hare::report`] — the same module
+//! `hare-count --json` prints — which is what makes `GET /count`
+//! responses byte-identical to the CLI (`--no-timing` form; server
+//! bodies never carry timing so they stay deterministic and cacheable).
+//! Errors are structured: `{"error":{"code":N,"message":"..."}}` with
+//! the matching HTTP status.
+
+use std::io::BufReader;
+use std::sync::Arc;
+
+use hare::sample::{SampleConfig, SampledCounter};
+use hare::{Hare, HareConfig};
+use serde_json::Value;
+use temporal_graph::io::{graph_from_raw, read_edges, LoadOptions};
+use temporal_graph::{NodeId, Timestamp};
+
+use crate::cache::CacheKey;
+use crate::catalog::CatalogError;
+use crate::http::Request;
+use crate::AppState;
+
+/// A fully-formed response: status, rendered body bytes, and whether
+/// the worker should trigger graceful shutdown *after* writing it.
+pub struct ApiResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Rendered body (shared so cached bodies are never copied).
+    pub body: Arc<String>,
+    /// `true` only for an accepted `POST /shutdown`.
+    pub shutdown: bool,
+}
+
+fn ok(status: u16, value: &Value) -> ApiResponse {
+    ApiResponse {
+        status,
+        body: Arc::new(hare::report::render(value)),
+        shutdown: false,
+    }
+}
+
+/// Build the structured error response for a status + message.
+#[must_use]
+pub fn error_response(status: u16, message: &str) -> ApiResponse {
+    let value = serde_json::json!({
+        "error": {"code": status, "message": message},
+    });
+    ApiResponse {
+        status,
+        body: Arc::new(hare::report::render(&value)),
+        shutdown: false,
+    }
+}
+
+/// Route one request to its handler.
+#[must_use]
+pub fn handle(state: &AppState, req: &Request) -> ApiResponse {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", []) => index(),
+        ("GET", ["stats"]) => stats(state),
+        ("GET", ["datasets"]) => list_datasets(state),
+        ("POST", ["datasets"]) => register_dataset(state, req),
+        ("GET", ["count"]) => count(state, req),
+        ("POST", ["cache", "clear"]) => {
+            state.cache.clear();
+            ok(200, &serde_json::json!({"cleared": true}))
+        }
+        ("GET", ["sessions"]) => list_sessions(state),
+        ("POST", ["sessions"]) => create_session(state, req),
+        ("GET", ["sessions", id]) => with_session(state, id, |s| ok(200, &s.tick_body())),
+        ("POST", ["sessions", id, "flush"]) => with_session(state, id, |s| {
+            s.wc.flush();
+            ok(200, &s.tick_body())
+        }),
+        ("POST", ["sessions", id, "edges"]) => session_push(state, id, req),
+        ("DELETE", ["sessions", id]) => close_session(state, id),
+        ("POST", ["shutdown"]) => shutdown(state),
+        // Known resources reached with the wrong verb get a 405 so
+        // clients can tell "wrong method" from "wrong path".
+        (_, [] | ["stats"] | ["datasets"] | ["count"] | ["cache", "clear"] | ["shutdown"])
+        | (_, ["sessions", ..]) => error_response(
+            405,
+            &format!("method {} is not supported on {}", req.method, req.path),
+        ),
+        _ => error_response(404, &format!("no such endpoint: {}", req.path)),
+    }
+}
+
+fn index() -> ApiResponse {
+    ok(
+        200,
+        &serde_json::json!({
+            "service": "hare-serve",
+            "endpoints": [
+                "GET /count?dataset=NAME&delta=SECONDS[&only=pairs|stars|triangles][&engine=approx&prob=P&ci=L&window_factor=C&seed=S][&threads=N]",
+                "GET /datasets",
+                "POST /datasets",
+                "GET /sessions",
+                "POST /sessions",
+                "GET /sessions/{id}",
+                "POST /sessions/{id}/edges",
+                "POST /sessions/{id}/flush",
+                "DELETE /sessions/{id}",
+                "GET /stats",
+                "POST /cache/clear",
+                "POST /shutdown",
+            ],
+        }),
+    )
+}
+
+fn stats(state: &AppState) -> ApiResponse {
+    let cache = state.cache.stats();
+    let m = &state.metrics;
+    let catalog = serde_json::json!({
+        "datasets": state.catalog.len(),
+        "names": state.catalog.names(),
+    });
+    let cache = serde_json::json!({
+        "capacity": cache.capacity,
+        "entries": cache.entries,
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "evictions": cache.evictions,
+    });
+    let queue = serde_json::json!({
+        "workers": state.cfg.workers,
+        "capacity": state.cfg.queue_capacity,
+        "queued": m.queued(),
+        "in_flight": m.in_flight(),
+        "completed": m.completed(),
+        "rejected": m.rejected(),
+    });
+    let sessions = serde_json::json!({
+        "open": state.sessions.open_count(),
+        "created": state.sessions.created_count(),
+        "max_open": state.cfg.max_sessions,
+    });
+    let shutdown_enabled = state.cfg.enable_shutdown;
+    ok(
+        200,
+        &serde_json::json!({
+            "catalog": catalog,
+            "cache": cache,
+            "queue": queue,
+            "sessions": sessions,
+            "shutdown_enabled": shutdown_enabled,
+        }),
+    )
+}
+
+fn dataset_entry_value(entry: &crate::catalog::DatasetEntry) -> Value {
+    serde_json::json!({
+        "name": entry.name.clone(),
+        "nodes": entry.stats.num_nodes,
+        "edges": entry.stats.num_edges,
+        "time_span": entry.stats.time_span,
+        "fingerprint": entry.fingerprint,
+        "source": entry.source.clone(),
+    })
+}
+
+fn list_datasets(state: &AppState) -> ApiResponse {
+    let entries: Vec<Value> = state
+        .catalog
+        .entries()
+        .iter()
+        .map(|e| dataset_entry_value(e))
+        .collect();
+    ok(200, &serde_json::json!({"datasets": entries}))
+}
+
+fn register_dataset(state: &AppState, req: &Request) -> ApiResponse {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return error_response(400, "body must be utf-8 JSON");
+    };
+    let v = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return error_response(400, &format!("body is not valid JSON: {e}")),
+    };
+    let name = v["name"].as_str();
+    let result = if let Some(registry) = v["dataset"].as_str() {
+        let scale = v["scale"].as_u64().unwrap_or(1) as usize;
+        if scale == 0 {
+            return error_response(400, "'scale' must be at least 1");
+        }
+        state.catalog.register_registry(registry, scale, name)
+    } else if let Some(edges_text) = v["edges"].as_str() {
+        let Some(name) = name else {
+            return error_response(400, "uploads require a 'name'");
+        };
+        let opts = LoadOptions {
+            timestamp_column: v["timestamp_col"].as_u64().unwrap_or(2) as usize,
+            ..LoadOptions::default()
+        };
+        let raw = match read_edges(BufReader::new(edges_text.as_bytes()), &opts) {
+            Ok(raw) => raw,
+            Err(e) => return error_response(400, &format!("parsing 'edges': {e}")),
+        };
+        state
+            .catalog
+            .register(name, graph_from_raw(raw, &opts), "upload".into())
+    } else {
+        return error_response(
+            400,
+            "provide either 'dataset' (+ optional 'scale') for a registry \
+             stand-in or 'edges' (SNAP-style text) for an upload",
+        );
+    };
+    match result {
+        Ok(entry) => ok(201, &dataset_entry_value(&entry)),
+        Err(e @ CatalogError::Duplicate(_)) => error_response(409, &e.to_string()),
+        Err(e @ CatalogError::UnknownRegistry(_)) => error_response(404, &e.to_string()),
+    }
+}
+
+/// Parse a required/optional typed query parameter; `Err` is a ready
+/// 400 response.
+fn param<T: std::str::FromStr>(
+    req: &Request,
+    name: &str,
+    default: Option<T>,
+) -> Result<T, Box<ApiResponse>> {
+    match req.query_param(name) {
+        Some(raw) => raw.parse().map_err(|_| {
+            Box::new(error_response(
+                400,
+                &format!("parameter '{name}' has invalid value {raw:?}"),
+            ))
+        }),
+        None => default.ok_or_else(|| {
+            Box::new(error_response(
+                400,
+                &format!("missing required parameter '{name}'"),
+            ))
+        }),
+    }
+}
+
+/// The validated execution plan of one `/count` query: every
+/// result-relevant parameter is parsed exactly once, and both the
+/// cache key and the computation derive from the same values (so they
+/// can never drift apart).
+enum Plan {
+    Exact {
+        only: Option<hare::MotifCategory>,
+        only_str: String,
+    },
+    Approx {
+        prob: f64,
+        ci: f64,
+        window_factor: i64,
+        seed: u64,
+    },
+}
+
+impl Plan {
+    /// Parse and validate the engine parameters of a request.
+    fn from_request(req: &Request) -> Result<Plan, Box<ApiResponse>> {
+        match req.query_param("engine").unwrap_or("exact") {
+            "exact" => {
+                for p in ["prob", "ci", "window_factor", "seed"] {
+                    if req.query_param(p).is_some() {
+                        return Err(Box::new(error_response(
+                            400,
+                            &format!("'{p}' requires engine=approx"),
+                        )));
+                    }
+                }
+                let only_str = req.query_param("only").unwrap_or("all").to_string();
+                let only = hare::report::parse_only(&only_str)
+                    .map_err(|e| Box::new(error_response(400, &format!("parameter 'only' {e}"))))?;
+                Ok(Plan::Exact { only, only_str })
+            }
+            "approx" => {
+                if req.query_param("only").is_some_and(|o| o != "all") {
+                    return Err(Box::new(error_response(
+                        400,
+                        "'only' is not supported with engine=approx",
+                    )));
+                }
+                let prob: f64 = param(req, "prob", Some(0.1))?;
+                if !(prob > 0.0 && prob <= 1.0) {
+                    return Err(Box::new(error_response(
+                        400,
+                        &format!("'prob' must be in (0, 1], got {prob}"),
+                    )));
+                }
+                let ci: f64 = param(req, "ci", Some(0.95))?;
+                if !(ci > 0.0 && ci < 1.0) {
+                    return Err(Box::new(error_response(
+                        400,
+                        &format!("'ci' must be in (0, 1), got {ci}"),
+                    )));
+                }
+                let window_factor: i64 = param(req, "window_factor", Some(10))?;
+                if window_factor < 1 {
+                    return Err(Box::new(error_response(
+                        400,
+                        &format!("'window_factor' must be at least 1, got {window_factor}"),
+                    )));
+                }
+                let seed: u64 = param(req, "seed", Some(42))?;
+                Ok(Plan::Approx {
+                    prob,
+                    ci,
+                    window_factor,
+                    seed,
+                })
+            }
+            other => Err(Box::new(error_response(
+                400,
+                &format!("parameter 'engine' must be exact or approx, got {other:?}"),
+            ))),
+        }
+    }
+
+    /// Canonical cache-key half: engine + result-relevant parameters.
+    /// `threads` is deliberately excluded — counts are bit-identical
+    /// across thread counts, so results are interchangeable.
+    fn cache_key(&self) -> String {
+        match self {
+            Plan::Exact { only_str, .. } => format!("exact/only={only_str}"),
+            Plan::Approx {
+                prob,
+                ci,
+                window_factor,
+                seed,
+            } => format!("approx/prob={prob}/ci={ci}/wf={window_factor}/seed={seed}"),
+        }
+    }
+}
+
+/// Upper bound on `?threads=`: far above any real core count, low
+/// enough that a hostile value cannot exhaust OS threads (the vendored
+/// rayon pool spawns up to this many workers per query).
+const MAX_QUERY_THREADS: usize = 1024;
+
+fn count(state: &AppState, req: &Request) -> ApiResponse {
+    let Some(dataset) = req.query_param("dataset") else {
+        return error_response(400, "missing required parameter 'dataset'");
+    };
+    let Some(entry) = state.catalog.get(dataset) else {
+        return error_response(
+            404,
+            &format!(
+                "dataset {dataset:?} is not in the catalog; registered: [{}]",
+                state.catalog.names().join(", ")
+            ),
+        );
+    };
+    let delta: Timestamp = match param(req, "delta", None) {
+        Ok(v) => v,
+        Err(resp) => return *resp,
+    };
+    let threads: usize = match param(req, "threads", Some(state.cfg.query_threads)) {
+        Ok(v) => v,
+        Err(resp) => return *resp,
+    };
+    if threads > MAX_QUERY_THREADS {
+        return error_response(
+            400,
+            &format!("parameter 'threads' must be at most {MAX_QUERY_THREADS}, got {threads}"),
+        );
+    }
+    let plan = match Plan::from_request(req) {
+        Ok(plan) => plan,
+        Err(resp) => return *resp,
+    };
+
+    let key = CacheKey {
+        fingerprint: entry.fingerprint,
+        delta,
+        engine: plan.cache_key(),
+    };
+    if let Some(body) = state.cache.get(&key) {
+        return ApiResponse {
+            status: 200,
+            body,
+            shutdown: false,
+        };
+    }
+
+    // Miss: run the query on this worker (kernels parallelise
+    // internally over the rayon pool with `threads` workers).
+    let body = match &plan {
+        Plan::Exact { only, .. } => {
+            let hare = Hare::new(HareConfig {
+                num_threads: threads,
+                ..HareConfig::default()
+            });
+            let matrix = hare.count_matrix(&entry.graph, delta, *only);
+            hare::report::exact_body(
+                entry.stats.num_nodes,
+                entry.stats.num_edges,
+                delta,
+                &matrix,
+                None,
+            )
+        }
+        Plan::Approx {
+            prob,
+            ci,
+            window_factor,
+            seed,
+        } => {
+            let counter = SampledCounter::new(SampleConfig {
+                prob: *prob,
+                window_factor: *window_factor,
+                confidence: *ci,
+                seed: *seed,
+                threads,
+            });
+            let est = counter.count(&entry.graph, delta);
+            hare::report::approx_body(
+                entry.stats.num_nodes,
+                entry.stats.num_edges,
+                delta,
+                *window_factor,
+                *seed,
+                &est,
+                None,
+            )
+        }
+    };
+    let rendered = Arc::new(hare::report::render(&body));
+    state.cache.insert(key, Arc::clone(&rendered));
+    ApiResponse {
+        status: 200,
+        body: rendered,
+        shutdown: false,
+    }
+}
+
+fn list_sessions(state: &AppState) -> ApiResponse {
+    ok(
+        200,
+        &serde_json::json!({
+            "sessions": state.sessions.ids(),
+            "open": state.sessions.open_count(),
+            "created": state.sessions.created_count(),
+        }),
+    )
+}
+
+fn create_session(state: &AppState, req: &Request) -> ApiResponse {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return error_response(400, "body must be utf-8 JSON");
+    };
+    let v = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return error_response(400, &format!("body is not valid JSON: {e}")),
+    };
+    let Some(delta) = v["delta"].as_i64() else {
+        return error_response(400, "'delta' (seconds) is required");
+    };
+    let Some(window) = v["window"].as_i64() else {
+        return error_response(400, "'window' (seconds) is required");
+    };
+    let slack = match (&v["slack"], v["slack"].as_i64()) {
+        (Value::Null, _) => 0,
+        (_, Some(s)) => s,
+        (_, None) => return error_response(400, "'slack' must be an integer"),
+    };
+    if delta < 0 {
+        return error_response(400, "'delta' must be non-negative");
+    }
+    if window < delta {
+        return error_response(
+            400,
+            &format!("'window' must be >= 'delta' ({window} < {delta})"),
+        );
+    }
+    if slack < 0 {
+        return error_response(400, "'slack' must be non-negative");
+    }
+    // Bound client-driven memory: every open session holds a live
+    // WindowedCounter, so creation beyond the cap is backpressured.
+    if state.sessions.open_count() >= state.cfg.max_sessions {
+        return error_response(
+            429,
+            &format!(
+                "session limit reached ({} open); close one or retry later",
+                state.cfg.max_sessions
+            ),
+        );
+    }
+    let id = state.sessions.create(delta, window, slack);
+    ok(
+        201,
+        &serde_json::json!({
+            "session": id,
+            "delta": delta,
+            "window": window,
+            "slack": slack,
+        }),
+    )
+}
+
+/// Resolve a path segment to a session and run `f` under its lock.
+fn with_session(
+    state: &AppState,
+    id: &str,
+    f: impl FnOnce(&mut crate::sessions::Session) -> ApiResponse,
+) -> ApiResponse {
+    let Ok(id) = id.parse::<u64>() else {
+        return error_response(400, &format!("session id must be an integer, got {id:?}"));
+    };
+    match state.sessions.get(id) {
+        Some(session) => f(&mut session.lock().expect("session poisoned")),
+        None => error_response(404, &format!("no such session: {id}")),
+    }
+}
+
+fn session_push(state: &AppState, id: &str, req: &Request) -> ApiResponse {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return error_response(400, "body must be utf-8 JSON");
+    };
+    let v: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return error_response(400, &format!("body is not valid JSON: {e}")),
+    };
+    let Some(rows) = v["edges"].as_array() else {
+        return error_response(400, "'edges' must be an array of [src, dst, t] rows");
+    };
+    let mut edges: Vec<(NodeId, NodeId, Timestamp)> = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let parsed = row.as_array().and_then(|r| {
+            if r.len() != 3 {
+                return None;
+            }
+            let src = r[0].as_u64()?;
+            let dst = r[1].as_u64()?;
+            let t = r[2].as_i64()?;
+            let max_id = u64::from(u32::MAX >> 1);
+            if src > max_id || dst > max_id {
+                return None;
+            }
+            Some((src as NodeId, dst as NodeId, t))
+        });
+        match parsed {
+            Some(edge) => edges.push(edge),
+            None => {
+                return error_response(
+                    400,
+                    &format!("edges[{i}] is not a valid [src, dst, t] row (ids < 2^31)"),
+                )
+            }
+        }
+    }
+    with_session(state, id, |s| {
+        let out = s.push_edges(&edges);
+        ok(
+            200,
+            &serde_json::json!({
+                "accepted": out.accepted,
+                "late_dropped": out.late_dropped,
+                "self_loops_dropped": out.self_loops_dropped,
+                "live_edges": s.wc.live_edges(),
+                "buffered_edges": s.wc.buffered_edges(),
+            }),
+        )
+    })
+}
+
+fn close_session(state: &AppState, id: &str) -> ApiResponse {
+    let Ok(id) = id.parse::<u64>() else {
+        return error_response(400, &format!("session id must be an integer, got {id:?}"));
+    };
+    if state.sessions.remove(id) {
+        ok(200, &serde_json::json!({"closed": id}))
+    } else {
+        error_response(404, &format!("no such session: {id}"))
+    }
+}
+
+fn shutdown(state: &AppState) -> ApiResponse {
+    if !state.cfg.enable_shutdown {
+        return error_response(
+            403,
+            "shutdown endpoint is disabled; start with --enable-shutdown",
+        );
+    }
+    let value = serde_json::json!({"status": "shutting-down"});
+    ApiResponse {
+        status: 200,
+        body: Arc::new(hare::report::render(&value)),
+        shutdown: true,
+    }
+}

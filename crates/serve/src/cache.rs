@@ -1,0 +1,220 @@
+//! LRU cache over rendered query-response bodies.
+//!
+//! Queries are pure functions of `(dataset content, δ, engine, params)`
+//! — the server's bodies carry no timing field — so a repeated query
+//! can be answered from the cache byte-identically in O(1). The key's
+//! dataset half is [`temporal_graph::TemporalGraph::fingerprint`]
+//! (content, not name): re-registering different edges under a reused
+//! name can never serve stale bytes.
+//!
+//! The thread count of a query is deliberately **not** part of the key:
+//! the engines are bit-identical across thread counts, so results are
+//! interchangeable (and the cache would otherwise fragment).
+//!
+//! Eviction is least-recently-used, implemented as a last-used tick per
+//! entry with an O(capacity) scan on overflow — hits stay O(1), and the
+//! scan only runs on a miss that inserts past capacity.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: dataset content fingerprint, δ, and the canonical
+/// engine+parameter string (e.g. `exact/only=all`,
+/// `approx/prob=0.3/ci=0.95/wf=10/seed=42`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`temporal_graph::TemporalGraph::fingerprint`] of the dataset.
+    pub fingerprint: u64,
+    /// The query's δ in seconds.
+    pub delta: i64,
+    /// Canonical engine + parameters string.
+    pub engine: String,
+}
+
+struct Entry {
+    body: Arc<String>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    evictions: u64,
+}
+
+/// Shared, thread-safe LRU result cache with hit/miss metrics.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A point-in-time snapshot of the cache counters (`GET /stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Maximum number of cached bodies (0 = caching disabled).
+    pub capacity: usize,
+    /// Bodies currently cached.
+    pub entries: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required computing the query.
+    pub misses: u64,
+    /// Entries displaced by LRU eviction.
+    pub evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` rendered bodies; `0` disables
+    /// caching entirely (every lookup is a miss, nothing is stored).
+    #[must_use]
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                evictions: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look a key up, counting a hit or a miss.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<String>> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.body))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a rendered body, evicting the least-recently
+    /// used entry when full. No-op when the cache is disabled.
+    pub fn insert(&self, key: CacheKey, body: Arc<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                body,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drop every cached body (counters are kept). Exposed as
+    /// `POST /cache/clear` so benchmarks can measure cold latency.
+    pub fn clear(&self) {
+        self.inner.lock().expect("cache poisoned").map.clear();
+    }
+
+    /// Snapshot the counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache poisoned");
+        CacheStats {
+            capacity: self.capacity,
+            entries: inner.map.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: inner.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(fp: u64, delta: i64, engine: &str) -> CacheKey {
+        CacheKey {
+            fingerprint: fp,
+            delta,
+            engine: engine.into(),
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_metrics() {
+        let cache = ResultCache::new(4);
+        let k = key(1, 600, "exact/only=all");
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), Arc::new("body".into()));
+        assert_eq!(cache.get(&k).as_deref().map(String::as_str), Some("body"));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn keys_separate_fingerprint_delta_and_engine() {
+        let cache = ResultCache::new(8);
+        cache.insert(key(1, 600, "exact/only=all"), Arc::new("a".into()));
+        assert!(cache.get(&key(2, 600, "exact/only=all")).is_none());
+        assert!(cache.get(&key(1, 601, "exact/only=all")).is_none());
+        assert!(cache.get(&key(1, 600, "exact/only=pairs")).is_none());
+        assert!(cache.get(&key(1, 600, "exact/only=all")).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.insert(key(1, 1, "e"), Arc::new("1".into()));
+        cache.insert(key(2, 2, "e"), Arc::new("2".into()));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&key(1, 1, "e")).is_some());
+        cache.insert(key(3, 3, "e"), Arc::new("3".into()));
+        assert!(cache.get(&key(2, 2, "e")).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(1, 1, "e")).is_some());
+        assert!(cache.get(&key(3, 3, "e")).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = ResultCache::new(0);
+        cache.insert(key(1, 1, "e"), Arc::new("1".into()));
+        assert!(cache.get(&key(1, 1, "e")).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = ResultCache::new(4);
+        cache.insert(key(1, 1, "e"), Arc::new("1".into()));
+        assert!(cache.get(&key(1, 1, "e")).is_some());
+        cache.clear();
+        assert!(cache.get(&key(1, 1, "e")).is_none());
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.hits, 1);
+    }
+}

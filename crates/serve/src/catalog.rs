@@ -1,0 +1,237 @@
+//! The dataset catalog: temporal graphs loaded once, shared immutably.
+//!
+//! Every query borrows its dataset through an `Arc<TemporalGraph>`, so
+//! a graph is parsed, indexed, fingerprinted and stat'd exactly once —
+//! at registration — and then served to any number of concurrent
+//! queries with zero copying ([`TemporalGraph`] is immutable and
+//! `Sync`). Registration happens at startup (`--preload`) or at runtime
+//! (`POST /datasets`, either a registry stand-in or an uploaded
+//! SNAP-style edge list).
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use temporal_graph::stats::GraphStats;
+use temporal_graph::TemporalGraph;
+
+/// One registered dataset with its precomputed metadata.
+#[derive(Debug)]
+pub struct DatasetEntry {
+    /// Catalog name (lookup key for `?dataset=`).
+    pub name: String,
+    /// The immutable graph, shared across queries.
+    pub graph: Arc<TemporalGraph>,
+    /// Precomputed shape statistics (every response reports nodes/edges).
+    pub stats: GraphStats,
+    /// Content fingerprint — the dataset half of every cache key.
+    pub fingerprint: u64,
+    /// Provenance: `registry:<name>/<scale>` or `upload`.
+    pub source: String,
+}
+
+/// Errors surfaced by registration.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A dataset with this name is already registered (HTTP 409).
+    Duplicate(String),
+    /// The registry has no dataset of this name (HTTP 404).
+    UnknownRegistry(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Duplicate(name) => {
+                write!(f, "dataset {name:?} is already registered")
+            }
+            CatalogError::UnknownRegistry(name) => {
+                let names: Vec<&str> = hare_datasets::all().iter().map(|d| d.name).collect();
+                write!(f, "unknown dataset {name:?}; known: {}", names.join(", "))
+            }
+        }
+    }
+}
+
+/// Thread-safe name → [`DatasetEntry`] map.
+#[derive(Default)]
+pub struct Catalog {
+    inner: RwLock<HashMap<String, Arc<DatasetEntry>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// `true` when a dataset of this exact name is registered.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner
+            .read()
+            .expect("catalog poisoned")
+            .contains_key(name)
+    }
+
+    /// Look a dataset up by exact name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        self.inner
+            .read()
+            .expect("catalog poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Register a built graph under `name`. Fails on duplicate names —
+    /// entries are immutable once visible (queries may already be
+    /// holding them, and cached results reference their fingerprint).
+    pub fn register(
+        &self,
+        name: &str,
+        graph: TemporalGraph,
+        source: String,
+    ) -> Result<Arc<DatasetEntry>, CatalogError> {
+        // Cheap early probe: stats + fingerprint below are O(|E|), not
+        // worth computing just to discover a name collision. The write
+        // lock re-checks, so a racing registration still loses cleanly.
+        if self.contains(name) {
+            return Err(CatalogError::Duplicate(name.to_string()));
+        }
+        let entry = Arc::new(DatasetEntry {
+            name: name.to_string(),
+            stats: GraphStats::compute(&graph),
+            fingerprint: graph.fingerprint(),
+            graph: Arc::new(graph),
+            source,
+        });
+        let mut map = self.inner.write().expect("catalog poisoned");
+        if map.contains_key(name) {
+            return Err(CatalogError::Duplicate(name.to_string()));
+        }
+        map.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Generate a registry stand-in at `scale` and register it under
+    /// `under` (default: the registry name).
+    pub fn register_registry(
+        &self,
+        dataset: &str,
+        scale: usize,
+        under: Option<&str>,
+    ) -> Result<Arc<DatasetEntry>, CatalogError> {
+        let spec = hare_datasets::by_name(dataset)
+            .ok_or_else(|| CatalogError::UnknownRegistry(dataset.to_string()))?;
+        let name = under.unwrap_or(spec.name);
+        // Probe before generating: large registry stand-ins are
+        // expensive to synthesise just to hit a 409.
+        if self.contains(name) {
+            return Err(CatalogError::Duplicate(name.to_string()));
+        }
+        self.register(
+            name,
+            spec.generate(scale),
+            format!("registry:{}/{scale}", spec.name),
+        )
+    }
+
+    /// All registered names, sorted (stable `GET /datasets` output).
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .read()
+            .expect("catalog poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// All entries, sorted by name.
+    #[must_use]
+    pub fn entries(&self) -> Vec<Arc<DatasetEntry>> {
+        let map = self.inner.read().expect("catalog poisoned");
+        let mut entries: Vec<Arc<DatasetEntry>> = map.values().cloned().collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+
+    /// Number of registered datasets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("catalog poisoned").len()
+    }
+
+    /// `true` when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal_graph::gen::paper_fig1_toy;
+
+    #[test]
+    fn register_and_lookup() {
+        let catalog = Catalog::new();
+        let entry = catalog
+            .register("toy", paper_fig1_toy(), "upload".into())
+            .unwrap();
+        assert_eq!(entry.stats.num_edges, 12);
+        assert_eq!(entry.fingerprint, paper_fig1_toy().fingerprint());
+        let fetched = catalog.get("toy").unwrap();
+        assert!(
+            Arc::ptr_eq(&entry.graph, &fetched.graph),
+            "shared, not copied"
+        );
+        assert!(catalog.get("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let catalog = Catalog::new();
+        catalog
+            .register("toy", paper_fig1_toy(), "upload".into())
+            .unwrap();
+        let err = catalog
+            .register("toy", paper_fig1_toy(), "upload".into())
+            .unwrap_err();
+        assert_eq!(err, CatalogError::Duplicate("toy".into()));
+        assert_eq!(catalog.len(), 1);
+    }
+
+    #[test]
+    fn registry_registration_matches_generator() {
+        let catalog = Catalog::new();
+        let entry = catalog
+            .register_registry("CollegeMsg", 8, Some("college8"))
+            .unwrap();
+        assert_eq!(entry.source, "registry:CollegeMsg/8");
+        let direct = hare_datasets::by_name("CollegeMsg").unwrap().generate(8);
+        assert_eq!(entry.fingerprint, direct.fingerprint());
+        assert!(catalog.get("college8").is_some());
+        assert!(
+            catalog.register_registry("NoSuchNet", 1, None).is_err(),
+            "unknown registry name"
+        );
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let catalog = Catalog::new();
+        for name in ["zeta", "alpha", "mid"] {
+            catalog
+                .register(name, paper_fig1_toy(), "upload".into())
+                .unwrap();
+        }
+        assert_eq!(catalog.names(), vec!["alpha", "mid", "zeta"]);
+        assert_eq!(catalog.entries()[0].name, "alpha");
+    }
+}

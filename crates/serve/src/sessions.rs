@@ -1,0 +1,215 @@
+//! Streaming ingest sessions: a [`WindowedCounter`] per client stream.
+//!
+//! A session wraps the exact sliding-window engine behind three verbs:
+//! create (`POST /sessions`), push a batch of edges
+//! (`POST /sessions/{id}/edges`), and poll the live per-tick motif
+//! matrix (`GET /sessions/{id}` — the same body shape as one
+//! `hare-count --window --json` tick, built by
+//! [`hare::report::windowed_tick_body`]). Late and self-loop arrivals
+//! are dropped and counted, never fatal — mirroring the CLI's streaming
+//! drop policy, so a flushed session is byte-identical to the final
+//! tick of the equivalent CLI run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use hare::streaming::StreamError;
+use hare::windowed::WindowedCounter;
+use temporal_graph::{NodeId, Timestamp};
+
+/// One client's streaming state.
+#[derive(Debug)]
+pub struct Session {
+    /// The exact sliding-window counting engine.
+    pub wc: WindowedCounter,
+    /// Arrivals dropped as too late for the reorder slack.
+    pub late_dropped: u64,
+    /// Self-loop arrivals dropped.
+    pub self_loops_dropped: u64,
+    /// Largest accepted timestamp (the tick label of polled bodies).
+    pub max_accepted: Option<Timestamp>,
+}
+
+/// Result of pushing one batch of edges into a session.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PushOutcome {
+    /// Edges accepted from this batch.
+    pub accepted: u64,
+    /// Edges of this batch dropped as late.
+    pub late_dropped: u64,
+    /// Edges of this batch dropped as self-loops.
+    pub self_loops_dropped: u64,
+}
+
+impl Session {
+    /// Push a batch in arrival order, dropping (and counting) late and
+    /// self-loop edges exactly like the CLI streaming mode.
+    pub fn push_edges(&mut self, edges: &[(NodeId, NodeId, Timestamp)]) -> PushOutcome {
+        let mut out = PushOutcome::default();
+        for &(src, dst, t) in edges {
+            match self.wc.push(src, dst, t) {
+                Ok(()) => {
+                    out.accepted += 1;
+                    self.max_accepted = Some(self.max_accepted.map_or(t, |m| m.max(t)));
+                }
+                Err(StreamError::OutOfOrder { .. }) => {
+                    out.late_dropped += 1;
+                    self.late_dropped += 1;
+                }
+                Err(StreamError::SelfLoop) => {
+                    out.self_loops_dropped += 1;
+                    self.self_loops_dropped += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// The session's current tick body: the live-window matrix labelled
+    /// with the largest accepted timestamp (0 before any acceptance).
+    #[must_use]
+    pub fn tick_body(&self) -> serde_json::Value {
+        hare::report::windowed_tick_body(
+            self.max_accepted.unwrap_or(0),
+            &self.wc,
+            self.late_dropped,
+            self.self_loops_dropped,
+        )
+    }
+}
+
+/// Thread-safe id → session map. Sessions are independently locked so
+/// concurrent clients never serialise on each other's streams.
+#[derive(Default)]
+pub struct SessionStore {
+    inner: RwLock<HashMap<u64, Arc<Mutex<Session>>>>,
+    next_id: AtomicU64,
+    created: AtomicU64,
+}
+
+impl SessionStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> SessionStore {
+        SessionStore::default()
+    }
+
+    /// Create a session; the caller has validated `window >= delta >= 0`
+    /// and `slack >= 0` (the [`WindowedCounter`] constructor enforces it
+    /// by panic, so validation belongs at the API boundary).
+    pub fn create(&self, delta: Timestamp, window: Timestamp, slack: Timestamp) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.created.fetch_add(1, Ordering::Relaxed);
+        let session = Session {
+            wc: WindowedCounter::with_slack(delta, window, slack),
+            late_dropped: 0,
+            self_loops_dropped: 0,
+            max_accepted: None,
+        };
+        self.inner
+            .write()
+            .expect("sessions poisoned")
+            .insert(id, Arc::new(Mutex::new(session)));
+        id
+    }
+
+    /// Fetch a session by id.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        self.inner
+            .read()
+            .expect("sessions poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Close a session. Returns `false` when the id is unknown.
+    pub fn remove(&self, id: u64) -> bool {
+        self.inner
+            .write()
+            .expect("sessions poisoned")
+            .remove(&id)
+            .is_some()
+    }
+
+    /// Ids of the open sessions, sorted.
+    #[must_use]
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .inner
+            .read()
+            .expect("sessions poisoned")
+            .keys()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of open sessions.
+    #[must_use]
+    pub fn open_count(&self) -> usize {
+        self.inner.read().expect("sessions poisoned").len()
+    }
+
+    /// Sessions created over the server's lifetime.
+    #[must_use]
+    pub fn created_count(&self) -> u64 {
+        self.created.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_push_poll_close() {
+        let store = SessionStore::new();
+        let id = store.create(20, 100, 0);
+        assert_eq!(store.open_count(), 1);
+
+        let session = store.get(id).unwrap();
+        let mut s = session.lock().unwrap();
+        let out = s.push_edges(&[(0, 1, 10), (1, 2, 12), (3, 3, 13), (2, 0, 14), (4, 5, 1)]);
+        assert_eq!(out.accepted, 3);
+        assert_eq!(out.self_loops_dropped, 1);
+        assert_eq!(out.late_dropped, 1, "t=1 is behind the zero-slack floor");
+
+        s.wc.flush();
+        let body = s.tick_body();
+        assert_eq!(body["tick"].as_i64(), Some(14));
+        assert_eq!(body["live_edges"].as_u64(), Some(3));
+        assert_eq!(body["total"].as_u64(), Some(1), "one triangle instance");
+        assert_eq!(body["late_dropped"].as_u64(), Some(1));
+        assert_eq!(body["self_loops_dropped"].as_u64(), Some(1));
+        drop(s);
+
+        assert!(store.remove(id));
+        assert!(!store.remove(id));
+        assert_eq!(store.open_count(), 0);
+        assert_eq!(store.created_count(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique_and_sorted() {
+        let store = SessionStore::new();
+        let a = store.create(10, 10, 0);
+        let b = store.create(10, 10, 0);
+        assert_ne!(a, b);
+        assert_eq!(store.ids(), vec![a.min(b), a.max(b)]);
+    }
+
+    #[test]
+    fn empty_session_polls_a_zero_tick() {
+        let store = SessionStore::new();
+        let id = store.create(10, 50, 5);
+        let session = store.get(id).unwrap();
+        let body = session.lock().unwrap().tick_body();
+        assert_eq!(body["tick"].as_i64(), Some(0));
+        assert_eq!(body["total"].as_u64(), Some(0));
+        assert_eq!(body["window"].as_i64(), Some(50));
+        assert_eq!(body["slack"].as_i64(), Some(5));
+    }
+}

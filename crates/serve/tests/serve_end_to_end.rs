@@ -1,0 +1,508 @@
+//! End-to-end suite for the `hare-serve` binary.
+//!
+//! Spawns the real daemon on an ephemeral port (parsing the startup
+//! line for the address) and pins the service's differential contract:
+//! **every response body is byte-identical to the stdout of the
+//! equivalent `hare-count --json --no-timing` invocation** — for exact
+//! queries, `--only` subsets, seeded approximate queries (including
+//! `p = 1.0`), uploaded datasets, and flushed streaming sessions; also
+//! under concurrent load with the result cache in play. Plus: the
+//! backpressure 429 path, structured 4xx errors, and the
+//! graceful-shutdown drain guarantee.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+use hare_serve::http::client;
+
+/// A running `hare-serve` child, killed on drop.
+struct ServeProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServeProc {
+    /// Spawn with `--port 0 --enable-shutdown` plus `extra` flags and
+    /// wait for the startup line to learn the bound address.
+    fn spawn(extra: &[&str]) -> ServeProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_hare-serve"))
+            .args(["--port", "0", "--enable-shutdown"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn hare-serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("startup line");
+        let v: serde_json::Value = serde_json::from_str(line.trim())
+            .unwrap_or_else(|e| panic!("startup line is not JSON ({e}): {line:?}"));
+        let addr = v["listening"]
+            .as_str()
+            .unwrap_or_else(|| panic!("no listening address in {line:?}"))
+            .to_string();
+        ServeProc { child, addr }
+    }
+
+    fn get(&self, target: &str) -> client::Response {
+        client::get(self.addr.as_str(), target).expect("GET")
+    }
+
+    fn post(&self, target: &str, body: &str) -> client::Response {
+        client::post(self.addr.as_str(), target, body).expect("POST")
+    }
+
+    /// POST /shutdown and wait (bounded) for a clean exit.
+    fn shutdown_and_wait(mut self) {
+        let resp = self.post("/shutdown", "");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(status.success(), "server exited with {status}");
+                    break;
+                }
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("server did not exit within 60s of POST /shutdown");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        // Disarm the drop kill.
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Locate (building if needed) the `hare-count` binary — the reference
+/// implementation for every differential assertion.
+fn hare_count_bin() -> PathBuf {
+    let dir = Path::new(env!("CARGO_BIN_EXE_hare-serve"))
+        .parent()
+        .expect("target dir")
+        .to_path_buf();
+    let exe = dir.join(format!("hare-count{}", std::env::consts::EXE_SUFFIX));
+    if exe.exists() {
+        return exe;
+    }
+    // Workspace `cargo test` builds it; a lone `cargo test -p hare-serve`
+    // may not have — build it in the same profile, offline.
+    let mut cmd = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()));
+    cmd.args(["build", "-p", "hare-cli", "--offline"]);
+    if !cfg!(debug_assertions) {
+        cmd.arg("--release");
+    }
+    cmd.current_dir(Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let status = cmd.status().expect("spawn cargo build -p hare-cli");
+    assert!(status.success(), "building hare-cli failed");
+    assert!(exe.exists(), "hare-count not found at {}", exe.display());
+    exe
+}
+
+fn hare_count(args: &[&str]) -> Output {
+    let out = Command::new(hare_count_bin())
+        .args(args)
+        .output()
+        .expect("spawn hare-count");
+    assert!(
+        out.status.success(),
+        "hare-count {:?} failed: {}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+#[test]
+fn exact_count_bodies_are_byte_identical_to_cli() {
+    let server = ServeProc::spawn(&["--preload", "CollegeMsg:8", "--threads", "2"]);
+    for only in ["all", "pairs", "stars", "triangles"] {
+        let resp = server.get(&format!("/count?dataset=CollegeMsg&delta=600&only={only}"));
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let cli = hare_count(&[
+            "--dataset",
+            "CollegeMsg",
+            "--scale",
+            "8",
+            "--delta",
+            "600",
+            "--only",
+            only,
+            "--json",
+            "--no-timing",
+        ]);
+        assert_eq!(
+            resp.body,
+            cli.stdout,
+            "only={only}: serve body != CLI stdout\nserve: {}\ncli:   {}",
+            resp.text(),
+            String::from_utf8_lossy(&cli.stdout)
+        );
+    }
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn approx_bodies_are_byte_identical_to_cli_including_p1() {
+    let server = ServeProc::spawn(&["--preload", "CollegeMsg:8", "--threads", "1"]);
+    for (prob, seed) in [("1.0", "42"), ("0.5", "7")] {
+        let resp = server.get(&format!(
+            "/count?dataset=CollegeMsg&delta=600&engine=approx&prob={prob}&ci=0.95&seed={seed}"
+        ));
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let cli = hare_count(&[
+            "--dataset",
+            "CollegeMsg",
+            "--scale",
+            "8",
+            "--delta",
+            "600",
+            "--approx",
+            "--prob",
+            prob,
+            "--ci",
+            "0.95",
+            "--seed",
+            seed,
+            "--json",
+            "--no-timing",
+        ]);
+        assert_eq!(
+            resp.body, cli.stdout,
+            "prob={prob} seed={seed}: serve body != CLI stdout"
+        );
+    }
+    // p = 1.0 estimates must equal the exact counts cell for cell.
+    let approx = server
+        .get("/count?dataset=CollegeMsg&delta=600&engine=approx&prob=1.0")
+        .json()
+        .unwrap();
+    let exact = server
+        .get("/count?dataset=CollegeMsg&delta=600")
+        .json()
+        .unwrap();
+    let exact_cells = exact["counts"].as_array().unwrap();
+    for (cell, exact_cell) in approx["counts"].as_array().unwrap().iter().zip(exact_cells) {
+        assert_eq!(cell["motif"], exact_cell["motif"]);
+        assert_eq!(
+            cell["estimate"].as_f64().unwrap(),
+            exact_cell["count"].as_u64().unwrap() as f64,
+            "{}",
+            cell["motif"]
+        );
+    }
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn uploaded_dataset_matches_cli_input_file() {
+    let edges = "0 1 10\n1 2 12\n2 0 14\n3 4 99999\n";
+    let dir = std::env::temp_dir().join(format!("hare_serve_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("edges.txt");
+    std::fs::write(&path, edges).unwrap();
+
+    let server = ServeProc::spawn(&[]);
+    let body = serde_json::json!({"name": "upload", "edges": edges}).to_string();
+    let reg = server.post("/datasets", &body);
+    assert_eq!(reg.status, 201, "{}", reg.text());
+
+    let resp = server.get("/count?dataset=upload&delta=600");
+    let cli = hare_count(&[
+        "--input",
+        path.to_str().unwrap(),
+        "--delta",
+        "600",
+        "--json",
+        "--no-timing",
+    ]);
+    assert_eq!(
+        resp.body, cli.stdout,
+        "uploaded dataset differs from --input run"
+    );
+
+    // The dataset listing reflects the registration.
+    let listing = server.get("/datasets").json().unwrap();
+    let sets = listing["datasets"].as_array().unwrap();
+    assert_eq!(sets.len(), 1);
+    assert_eq!(sets[0]["name"].as_str(), Some("upload"));
+    assert_eq!(sets[0]["source"].as_str(), Some("upload"));
+
+    std::fs::remove_file(&path).ok();
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn concurrent_clients_get_identical_bodies_and_cache_hits() {
+    let server = ServeProc::spawn(&["--preload", "CollegeMsg:8", "--workers", "4"]);
+    let target = "/count?dataset=CollegeMsg&delta=600";
+    // Warm the cache so the concurrent wave is all hits.
+    let warm = server.get(target);
+    assert_eq!(warm.status, 200);
+
+    let addr = server.addr.clone();
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || client::get(addr.as_str(), target).expect("GET"))
+        })
+        .collect();
+    let cli = hare_count(&[
+        "--dataset",
+        "CollegeMsg",
+        "--scale",
+        "8",
+        "--delta",
+        "600",
+        "--json",
+        "--no-timing",
+    ]);
+    for handle in clients {
+        let resp = handle.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body, cli.stdout,
+            "concurrent response differs from CLI stdout"
+        );
+    }
+
+    let stats = server.get("/stats").json().unwrap();
+    let hits = stats["cache"]["hits"].as_u64().unwrap();
+    assert!(hits >= 8, "expected >= 8 cache hits, saw {hits}");
+    assert_eq!(stats["cache"]["entries"].as_u64(), Some(1));
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn streaming_session_flush_matches_cli_final_tick() {
+    // Out-of-order arrivals within slack, one late drop, one self-loop:
+    // the flushed session must reproduce the CLI's final tick bytes.
+    let edges = "0 1 100\n5 5 200\n1 2 95\n2 0 103\n3 4 10\n";
+    let dir = std::env::temp_dir().join(format!("hare_serve_stream_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream.txt");
+    std::fs::write(&path, edges).unwrap();
+
+    let cli = hare_count(&[
+        "--input",
+        path.to_str().unwrap(),
+        "--delta",
+        "20",
+        "--window",
+        "50",
+        "--slack",
+        "10",
+        "--json",
+    ]);
+    let cli_stdout = String::from_utf8(cli.stdout).unwrap();
+    let final_tick = cli_stdout.lines().last().expect("at least one tick");
+
+    let server = ServeProc::spawn(&[]);
+    let created = server.post("/sessions", r#"{"delta":20,"window":50,"slack":10}"#);
+    assert_eq!(created.status, 201, "{}", created.text());
+    let id = created.json().unwrap()["session"].as_u64().unwrap();
+
+    let push = server.post(
+        &format!("/sessions/{id}/edges"),
+        r#"{"edges":[[0,1,100],[5,5,200],[1,2,95],[2,0,103],[3,4,10]]}"#,
+    );
+    assert_eq!(push.status, 200);
+    let pv = push.json().unwrap();
+    assert_eq!(pv["accepted"].as_u64(), Some(3));
+    assert_eq!(pv["late_dropped"].as_u64(), Some(1));
+    assert_eq!(pv["self_loops_dropped"].as_u64(), Some(1));
+
+    let flushed = server.post(&format!("/sessions/{id}/flush"), "");
+    assert_eq!(flushed.status, 200);
+    assert_eq!(
+        flushed.text().trim_end(),
+        final_tick,
+        "flushed session != CLI final tick"
+    );
+
+    std::fs::remove_file(&path).ok();
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn malformed_requests_return_structured_errors() {
+    let server = ServeProc::spawn(&["--preload", "CollegeMsg:16"]);
+    let cases: &[(&str, u16, &str)] = &[
+        ("/count", 400, "dataset"),
+        ("/count?dataset=CollegeMsg", 400, "delta"),
+        ("/count?dataset=nope&delta=600", 404, "not in the catalog"),
+        ("/count?dataset=CollegeMsg&delta=abc", 400, "delta"),
+        (
+            "/count?dataset=CollegeMsg&delta=600&only=wedges",
+            400,
+            "only",
+        ),
+        (
+            "/count?dataset=CollegeMsg&delta=600&prob=0.5",
+            400,
+            "engine=approx",
+        ),
+        (
+            "/count?dataset=CollegeMsg&delta=600&engine=approx&prob=1.5",
+            400,
+            "prob",
+        ),
+        (
+            "/count?dataset=CollegeMsg&delta=600&engine=warp",
+            400,
+            "engine",
+        ),
+        ("/sessions/99", 404, "no such session"),
+        ("/sessions/zzz", 400, "integer"),
+        ("/definitely/not/here", 404, "no such endpoint"),
+    ];
+    for &(target, want_status, want_fragment) in cases {
+        let resp = server.get(target);
+        assert_eq!(resp.status, want_status, "{target}: {}", resp.text());
+        let v = resp
+            .json()
+            .unwrap_or_else(|e| panic!("{target}: error body is not JSON ({e}): {}", resp.text()));
+        assert_eq!(v["error"]["code"].as_u64(), Some(u64::from(want_status)));
+        let msg = v["error"]["message"].as_str().unwrap();
+        assert!(
+            msg.contains(want_fragment),
+            "{target}: message {msg:?} lacks {want_fragment:?}"
+        );
+    }
+    // Bad JSON bodies on the POST endpoints.
+    for target in ["/datasets", "/sessions"] {
+        let resp = server.post(target, "{not json");
+        assert_eq!(resp.status, 400, "{target}: {}", resp.text());
+        assert!(resp.json().unwrap()["error"]["message"].as_str().is_some());
+    }
+    // A request that is not HTTP at all still gets a structured 400.
+    {
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(server.addr.as_str()).unwrap();
+        raw.write_all(b"this is not http\r\n\r\n").unwrap();
+        let mut text = String::new();
+        raw.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    }
+    // Wrong verb on a known resource.
+    let resp = server.post("/count?dataset=CollegeMsg&delta=600", "");
+    assert_eq!(resp.status, 405);
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn queue_overflow_answers_429_backpressure() {
+    // One worker, queue of one, cache off: a burst of slow queries
+    // (δ = the full time span makes every window maximal, ~0.5s each in
+    // a debug build) can occupy at most two slots; the rest must be
+    // answered 429 by the acceptor immediately.
+    let server = ServeProc::spawn(&[
+        "--workers",
+        "1",
+        "--queue",
+        "1",
+        "--cache",
+        "0",
+        "--preload",
+        "CollegeMsg:1",
+    ]);
+    let slow = "/count?dataset=CollegeMsg&delta=16000000&threads=1";
+    let addr = server.addr.clone();
+    let burst: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || client::get(addr.as_str(), slow).expect("GET"))
+        })
+        .collect();
+
+    let (mut ok, mut rejected) = (0u32, 0u32);
+    for handle in burst {
+        let resp = handle.join().unwrap();
+        match resp.status {
+            200 => {
+                assert_eq!(resp.json().unwrap()["counts"].as_array().unwrap().len(), 36);
+                ok += 1;
+            }
+            429 => {
+                let v = resp.json().unwrap();
+                assert_eq!(v["error"]["code"].as_u64(), Some(429));
+                rejected += 1;
+            }
+            other => panic!("unexpected status {other}: {}", resp.text()),
+        }
+    }
+    // At most worker + queue requests can be accepted at once; with an
+    // 8-wide simultaneous burst against a ~0.5s query, some must have
+    // been rejected — and accepted ones must all have completed.
+    assert!(ok >= 1, "no request completed");
+    assert!(rejected >= 1, "no request was backpressured");
+
+    let stats = server.get("/stats").json().unwrap();
+    assert_eq!(
+        stats["queue"]["rejected"].as_u64(),
+        Some(u64::from(rejected)),
+        "metrics disagree with observed 429s"
+    );
+    server.shutdown_and_wait();
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_shuts_down_cleanly() {
+    let mut server = ServeProc::spawn(&[]);
+    assert_eq!(server.get("/").status, 200);
+    let pid = server.child.id().to_string();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("spawn kill");
+    assert!(status.success());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match server.child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "SIGTERM exit was {status}");
+                break;
+            }
+            None if Instant::now() > deadline => panic!("server ignored SIGTERM for 30s"),
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    std::mem::forget(server);
+}
+
+#[test]
+fn shutdown_drains_in_flight_and_queued_requests() {
+    // Two workers: one takes a slow query, the other handles /shutdown.
+    // The slow query must complete with a full valid body — shutdown
+    // drains, it does not drop.
+    let server = ServeProc::spawn(&["--workers", "2", "--preload", "CollegeMsg:1"]);
+    let addr = server.addr.clone();
+    let slow = std::thread::spawn(move || {
+        client::get(
+            addr.as_str(),
+            "/count?dataset=CollegeMsg&delta=16000000&threads=1",
+        )
+        .expect("GET")
+    });
+    // Let the ~0.5s query reach a worker, then shut down mid-flight.
+    std::thread::sleep(Duration::from_millis(100));
+    server.shutdown_and_wait();
+
+    let resp = slow.join().unwrap();
+    assert_eq!(resp.status, 200, "in-flight request dropped by shutdown");
+    let v = resp.json().expect("drained response is complete JSON");
+    assert_eq!(v["counts"].as_array().unwrap().len(), 36);
+    assert_eq!(v["delta"].as_i64(), Some(16000000));
+}

@@ -74,6 +74,23 @@ pub fn fx_hash_map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
     FxHashMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
 }
 
+/// One step of a SplitMix64-style hash chain: absorb `v` into the
+/// running state `h` and return the finalized new state.
+///
+/// This is the single definition of the mix used by every persisted or
+/// reproducibility-bearing hash in the workspace —
+/// [`crate::TemporalGraph::fingerprint`] (the serving cache key) and
+/// `hare::sample::window_kept` (the seeded sampling coin) — so the
+/// constants can never silently diverge between them.
+#[inline]
+#[must_use]
+pub fn splitmix64_mix(h: u64, v: u64) -> u64 {
+    let mut z = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
