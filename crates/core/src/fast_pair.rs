@@ -16,6 +16,8 @@
 //! Because every unordered pair is visited exactly once, each instance is
 //! counted **once** (unlike Algorithm 1's once-per-endpoint); fold with
 //! [`PairCounter::add_to_matrix_pair_based`].
+//!
+//! hare-lint: no-alloc
 
 use crate::counters::PairCounter;
 use temporal_graph::{PairEvent, TemporalGraph, Timestamp};

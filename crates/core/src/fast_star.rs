@@ -27,6 +27,8 @@
 //! counter updates go to flat per-node accumulators (offsets hoisted from
 //! `(d1, d3)`) folded into the shared counters once per call — the inner
 //! loop performs no indexed multi-dimensional counter writes.
+//!
+//! hare-lint: no-alloc
 
 use crate::counters::{PairCounter, StarCounter};
 use crate::scratch::NeighborScratch;

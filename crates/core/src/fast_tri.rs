@@ -23,6 +23,8 @@
 //! paper uses the same ÷3 strategy in multi-threaded mode to keep threads
 //! dependency-free; we use it unconditionally so single- and multi-thread
 //! runs share one code path and produce bit-identical counters.
+//!
+//! hare-lint: no-alloc
 
 use crate::counters::TriCounter;
 use temporal_graph::{NodeId, TemporalGraph, Timestamp};

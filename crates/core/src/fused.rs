@@ -22,6 +22,8 @@
 //! Counter addition is commutative, so the fused kernel is bit-identical
 //! to running [`crate::fast_star`] and [`crate::fast_tri`] separately —
 //! asserted by the tests below and by the differential suites.
+//!
+//! hare-lint: no-alloc
 
 use crate::counters::{PairCounter, StarCounter, TriCounter};
 use crate::scratch::NeighborScratch;

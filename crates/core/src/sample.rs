@@ -42,6 +42,8 @@
 //! // p = 1 samples every window: the estimate *is* the exact count.
 //! assert_eq!(est.as_exact(), Some(exact.matrix));
 //! ```
+//!
+//! hare-lint: no-alloc
 
 use rayon::prelude::*;
 
@@ -278,6 +280,7 @@ impl SampledCounter {
             // window; the rayon map keeps item (window) order.
             let slices =
                 WindowSlices::build_filtered(g, window_len, |k| window_kept(seed, k as u64, prob));
+            // hare-lint: allow(alloc, reason = "per-estimate setup: one Vec of active window ids")
             let active: Vec<usize> = slices.active_windows().collect();
             rayon::ThreadPoolBuilder::new()
                 .num_threads(self.cfg.threads)
@@ -287,6 +290,7 @@ impl SampledCounter {
                     active
                         .into_par_iter()
                         .map(|k| tally_window(g, &slices, k, delta))
+                        // hare-lint: allow(alloc, reason = "per-estimate result: one tally per sampled window")
                         .collect()
                 })
         };
@@ -362,6 +366,7 @@ impl SampledCounter {
         window_len: Timestamp,
         windows_total: usize,
     ) -> Vec<WindowTally> {
+        // hare-lint: allow(alloc, reason = "per-estimate setup: dense slot table, O(windows_total) once")
         let mut slot_of = vec![u32::MAX; windows_total];
         let mut kept = 0u32;
         for (k, slot) in slot_of.iter_mut().enumerate() {
@@ -370,6 +375,7 @@ impl SampledCounter {
                 kept += 1;
             }
         }
+        // hare-lint: allow(alloc, reason = "per-estimate setup: one tally per kept window")
         let mut tallies: Vec<WindowTally> = (0..kept).map(|_| WindowTally::default()).collect();
         with_thread_scratch(g.num_nodes(), |scratch| {
             temporal_graph::slices::scan(g, window_len, |k, node, range| {
@@ -405,6 +411,7 @@ impl SampledCounter {
         window_len: Timestamp,
     ) -> Vec<WindowTally> {
         let mut slot_of: temporal_graph::util::FxHashMap<u64, u32> = Default::default();
+        // hare-lint: allow(alloc, reason = "per-estimate setup: sparse tally list grows O(runs)")
         let mut tallies: Vec<(u64, WindowTally)> = Vec::new();
         with_thread_scratch(g.num_nodes(), |scratch| {
             temporal_graph::slices::scan(g, window_len, |k, node, range| {
@@ -433,6 +440,7 @@ impl SampledCounter {
         });
         // Ascending window order, same as the other drivers.
         tallies.sort_unstable_by_key(|&(k, _)| k);
+        // hare-lint: allow(alloc, reason = "per-estimate teardown: strips window keys from the tallies")
         tallies.into_iter().map(|(_, t)| t).collect()
     }
 

@@ -12,6 +12,8 @@
 //! line (the previous two-array layout paid two misses per random
 //! neighbour access). `u32` counts are safe: a count never exceeds the
 //! builder-asserted edge-count bound of `u32::MAX`.
+//!
+//! hare-lint: no-alloc
 
 use temporal_graph::{Dir, NodeId};
 
@@ -37,6 +39,7 @@ impl NeighborScratch {
     pub fn new(num_nodes: usize) -> NeighborScratch {
         NeighborScratch {
             stamp: 1,
+            // hare-lint: allow(alloc, reason = "pool construction, once per thread")
             entries: vec![Entry::default(); num_nodes],
         }
     }
@@ -62,6 +65,7 @@ impl NeighborScratch {
     /// thread-local scratch be reused across graphs and tasks.
     pub fn ensure_nodes(&mut self, num_nodes: usize) {
         if self.entries.len() < num_nodes {
+            // hare-lint: allow(alloc, reason = "amortised growth, only on a larger graph")
             self.entries.resize(num_nodes, Entry::default());
         }
     }

@@ -1,0 +1,197 @@
+//! The grandfathered-findings baseline.
+//!
+//! A baseline file (`lint-baseline.txt` at the repo root) lists findings
+//! that predate the linter and are accepted for now. Keys deliberately
+//! omit line numbers — `rule \t path \t trimmed-snippet` — so unrelated
+//! edits above a grandfathered line don't invalidate the entry. Matching
+//! is multiset: two identical snippets in the baseline absorb at most
+//! two identical findings.
+//!
+//! Workflow: `hare-lint --write-baseline` snapshots the current
+//! findings; CI runs `hare-lint --deny`, which fails on anything *not*
+//! in the baseline. Shrink the file as entries are fixed; a stale entry
+//! (nothing matches it any more) is reported so the file can't rot.
+
+use crate::rules::Finding;
+
+/// One grandfathered entry: `rule \t path \t snippet`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule code, e.g. `D-std-hash`.
+    pub rule: String,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// The trimmed source line at the time of grandfathering.
+    pub snippet: String,
+}
+
+impl BaselineEntry {
+    fn line(&self) -> String {
+        format!("{}\t{}\t{}", self.rule, self.path, self.snippet)
+    }
+}
+
+/// Parse a baseline file's contents. Blank lines and `#` comments are
+/// skipped; malformed lines are returned as errors with their 1-based
+/// line number.
+pub fn parse(contents: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in contents.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.splitn(3, '\t');
+        let (Some(rule), Some(path), Some(snippet)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected `rule<TAB>path<TAB>snippet`, got {t:?}",
+                i + 1
+            ));
+        };
+        entries.push(BaselineEntry {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            snippet: snippet.to_string(),
+        });
+    }
+    Ok(entries)
+}
+
+/// Render findings as baseline file contents (sorted, with a header).
+#[must_use]
+pub fn render(findings: &[Finding]) -> String {
+    let mut lines: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            BaselineEntry {
+                rule: f.kind.code().to_string(),
+                path: f.path.clone(),
+                snippet: f.snippet.clone(),
+            }
+            .line()
+        })
+        .collect();
+    lines.sort();
+    let mut out = String::from(
+        "# hare-lint baseline: grandfathered findings (rule<TAB>path<TAB>snippet).\n\
+         # Remove entries as they are fixed; `hare-lint --write-baseline` regenerates.\n",
+    );
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Result of applying a baseline to a finding set.
+pub struct Applied {
+    /// Findings not absorbed by the baseline (these fail `--deny`).
+    pub fresh: Vec<Finding>,
+    /// Findings absorbed by a baseline entry.
+    pub grandfathered: Vec<Finding>,
+    /// Baseline entries that matched nothing (fix landed — prune them).
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// Split `findings` into fresh vs grandfathered using multiset matching
+/// against `entries`.
+#[must_use]
+pub fn apply(findings: Vec<Finding>, entries: &[BaselineEntry]) -> Applied {
+    let mut budget: Vec<(BaselineEntry, usize)> = Vec::new();
+    for e in entries {
+        if let Some(slot) = budget.iter_mut().find(|(b, _)| b == e) {
+            slot.1 += 1;
+        } else {
+            budget.push((e.clone(), 1));
+        }
+    }
+    let mut fresh = Vec::new();
+    let mut grandfathered = Vec::new();
+    for f in findings {
+        let key = BaselineEntry {
+            rule: f.kind.code().to_string(),
+            path: f.path.clone(),
+            snippet: f.snippet.clone(),
+        };
+        match budget.iter_mut().find(|(b, n)| *n > 0 && *b == key) {
+            Some(slot) => {
+                slot.1 -= 1;
+                grandfathered.push(f);
+            }
+            None => fresh.push(f),
+        }
+    }
+    let stale = budget
+        .into_iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(b, _)| b)
+        .collect();
+    Applied {
+        fresh,
+        grandfathered,
+        stale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, RuleKind};
+
+    fn finding(snippet: &str) -> Finding {
+        Finding {
+            kind: RuleKind::PPanic,
+            path: "crates/x/src/lib.rs".into(),
+            line: 10,
+            message: "m".into(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let entries = parse("# header\n\nP-panic\tcrates/x/src/lib.rs\tfoo.unwrap();\n").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "P-panic");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("just-one-field\n").is_err());
+    }
+
+    #[test]
+    fn multiset_matching_absorbs_per_occurrence() {
+        let entries = parse(
+            "P-panic\tcrates/x/src/lib.rs\tfoo.unwrap();\n\
+             P-panic\tcrates/x/src/lib.rs\tfoo.unwrap();\n",
+        )
+        .unwrap();
+        let findings = vec![
+            finding("foo.unwrap();"),
+            finding("foo.unwrap();"),
+            finding("foo.unwrap();"),
+        ];
+        let applied = apply(findings, &entries);
+        assert_eq!(applied.grandfathered.len(), 2, "two entries absorb two");
+        assert_eq!(applied.fresh.len(), 1, "third occurrence is fresh");
+        assert!(applied.stale.is_empty());
+    }
+
+    #[test]
+    fn unmatched_entries_are_stale() {
+        let entries = parse("P-panic\tcrates/x/src/lib.rs\tgone.unwrap();\n").unwrap();
+        let applied = apply(vec![], &entries);
+        assert!(applied.fresh.is_empty());
+        assert_eq!(applied.stale.len(), 1);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let rendered = render(&[finding("foo.unwrap();")]);
+        let entries = parse(&rendered).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].snippet, "foo.unwrap();");
+    }
+}

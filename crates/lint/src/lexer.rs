@@ -1,0 +1,564 @@
+//! A small hand-rolled Rust lexer: just enough token classification to
+//! lint lexically without `syn` (the environment is offline, and the
+//! rules only need to know *code* from *comment* from *literal*).
+//!
+//! [`lex`] produces a [`Lexed`] view of one source file:
+//!
+//! * `masked` — the source with every comment and every string/char
+//!   literal *interior* replaced by spaces (newlines and the quote
+//!   delimiters survive). Rule token scans run on this view, so
+//!   `"call .unwrap() please"` in a string or comment can never
+//!   produce a finding, while line/column arithmetic still maps 1:1
+//!   onto the original text.
+//! * `comments` — every comment with its text and start line, the
+//!   input for directive parsing (`hare-lint:` headers and
+//!   `allow(...)` escapes) and `// SAFETY:` detection.
+//! * `test_lines` — per-line flags marking `#[cfg(test)]` item bodies,
+//!   so rules can skip test-only code.
+//!
+//! Handled lexical shapes: nested `/* /* */ */` block comments, line
+//! comments (incl. `///` and `//!` docs), `"..."` strings with escapes,
+//! raw strings `r"..."` / `r#"..."#` (any hash depth, `b`/`br` forms
+//! too), char literals (`'a'`, `'\n'`, `'\u{7FFF}'`) and their
+//! ambiguity with lifetimes (`'static`, `'_`).
+
+/// One comment in the file.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` sigils.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// `true` for `//!` inner doc comments (module headers).
+    pub inner_doc: bool,
+}
+
+/// The lexed view of one source file. See the module docs.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Source with comment and literal interiors blanked to spaces.
+    pub masked: String,
+    /// All comments in order of appearance.
+    pub comments: Vec<Comment>,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+    /// `test_lines[i]` is `true` when 1-based line `i + 1` lies inside a
+    /// `#[cfg(test)]` item body (attribute line included).
+    pub test_lines: Vec<bool>,
+}
+
+impl Lexed {
+    /// 1-based line containing byte `offset`.
+    #[must_use]
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i, // insertion point is the next line start
+        }
+    }
+
+    /// `true` when 1-based `line` is inside a `#[cfg(test)]` region.
+    #[must_use]
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex one source file. Never fails: unterminated constructs simply
+/// consume to end of input (good enough for linting — rustc will reject
+/// such a file anyway).
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut masked = b.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    // Whether the previous unmasked byte continues an identifier —
+    // distinguishes the raw-string prefix in `r"x"` from the `r` of
+    // `for r in rows`.
+    let mut prev_ident = false;
+
+    let blank = |masked: &mut [u8], range: std::ops::Range<usize>| {
+        for m in &mut masked[range] {
+            if *m != b'\n' {
+                *m = b' ';
+            }
+        }
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push((start, i));
+                blank(&mut masked, start..i);
+                prev_ident = false;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push((start, i));
+                blank(&mut masked, start..i);
+                prev_ident = false;
+            }
+            b'"' => {
+                // Consume atomically so `//` inside a string is never a
+                // comment; the interior is blanked by a second pass
+                // ([`mask_plain_strings`]) once comments are spaces.
+                i = consume_string(b, i);
+                prev_ident = false;
+            }
+            b'r' | b'b' if !prev_ident => {
+                // Possible raw/byte string prefix: r" r#" b" br" br#" ...
+                if let Some(end) = try_raw_or_byte_string(b, i) {
+                    // Blank everything between the opening and closing
+                    // delimiter runs; keeping the exact quotes is not
+                    // important, keeping line structure is.
+                    blank(&mut masked, i..end);
+                    i = end;
+                    prev_ident = false;
+                } else {
+                    prev_ident = true;
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                if let Some(end) = try_char_literal(b, i) {
+                    blank(&mut masked, i + 1..end - 1);
+                    i = end;
+                } else {
+                    // Lifetime: consume the quote and the identifier.
+                    i += 1;
+                    while i < b.len() && is_ident_char(b[i]) {
+                        i += 1;
+                    }
+                }
+                prev_ident = false;
+            }
+            _ => {
+                prev_ident = is_ident_char(c);
+                i += 1;
+            }
+        }
+    }
+
+    // Fix up plain-string masking: the match arm above couldn't express
+    // it inline, so strings are re-scanned here on the original bytes.
+    // (Comments are already blanked, so this pass sees only real code.)
+    mask_plain_strings(b, &mut masked);
+
+    let masked = String::from_utf8_lossy(&masked).into_owned();
+    let line_starts = compute_line_starts(src);
+    let comments = comments
+        .into_iter()
+        .map(|(start, end)| {
+            let text = src[start..end].to_string();
+            let line = line_of(&line_starts, start);
+            let inner_doc = text.starts_with("//!");
+            Comment {
+                text,
+                line,
+                inner_doc,
+            }
+        })
+        .collect();
+    let test_lines = compute_test_lines(&masked, &line_starts);
+    Lexed {
+        masked,
+        comments,
+        line_starts,
+        test_lines,
+    }
+}
+
+/// Consume a `"..."` string starting at the opening quote; returns the
+/// offset just past the closing quote.
+fn consume_string(b: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// If offset `i` starts a raw or byte string (`r"`, `r#"`, `b"`, `br"`,
+/// `br#"` ...), consume it and return the end offset.
+fn try_raw_or_byte_string(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) == Some(&b'r') {
+            raw = true;
+            j += 1;
+        }
+    } else if b[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    if !raw {
+        // b"..." — escapes behave like a normal string.
+        if b.get(j) == Some(&b'"') {
+            return Some(consume_string(b, j));
+        }
+        return None;
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None; // e.g. `r#[ident]` style macro hygiene names, or plain `r`
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hashes; no escapes in raw strings.
+    while j < b.len() {
+        if b[j] == b'"' {
+            let close = &b[j + 1..];
+            if close.len() >= hashes && close[..hashes].iter().all(|&h| h == b'#') {
+                return Some(j + 1 + hashes);
+            }
+        }
+        j += 1;
+    }
+    Some(b.len())
+}
+
+/// If offset `i` (at a `'`) starts a char literal, return the offset
+/// just past the closing quote; `None` means it is a lifetime.
+fn try_char_literal(b: &[u8], i: usize) -> Option<usize> {
+    let next = *b.get(i + 1)?;
+    if next == b'\\' {
+        // Escaped char: scan to the closing quote.
+        let mut j = i + 2;
+        if j < b.len() {
+            j += 1; // the escaped character itself (n, t, ', u, x, ...)
+        }
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return Some((j + 1).min(b.len()));
+    }
+    if is_ident_char(next) {
+        // `'a'` is a char only when a quote immediately follows one
+        // identifier character; `'abc`, `'static`, `'_` are lifetimes.
+        if b.get(i + 2) == Some(&b'\'') {
+            return Some(i + 3);
+        }
+        return None; // lifetime
+    }
+    // Non-identifier single char: '(' , ' ' , multi-byte UTF-8, etc.
+    let mut j = i + 1;
+    while j < b.len() && b[j] != b'\'' && b[j] != b'\n' && j - i < 8 {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'\'') {
+        return Some(j + 1);
+    }
+    None
+}
+
+/// Blank the interiors of plain `"..."` strings in `masked`, walking the
+/// original bytes (comments in `masked` are already spaces, so quote
+/// characters inside comments are invisible to this pass).
+fn mask_plain_strings(orig: &[u8], masked: &mut [u8]) {
+    let mut i = 0usize;
+    while i < masked.len() {
+        match masked[i] {
+            b'"' => {
+                let end = consume_string(orig, i);
+                for m in &mut masked[i + 1..end.saturating_sub(1)] {
+                    if *m != b'\n' {
+                        *m = b' ';
+                    }
+                }
+                i = end;
+            }
+            b'\'' => {
+                // Skip char literals / lifetimes so an apostrophe can't
+                // open a bogus string scan; interiors were handled in lex.
+                match try_char_literal(orig, i) {
+                    Some(end) => i = end,
+                    None => {
+                        i += 1;
+                        while i < masked.len() && is_ident_char(masked[i]) {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+fn compute_line_starts(src: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn line_of(line_starts: &[usize], offset: usize) -> usize {
+    match line_starts.binary_search(&offset) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// Mark the lines covered by `#[cfg(test)]` items (the attribute, the
+/// item header, and its brace-matched body).
+fn compute_test_lines(masked: &str, line_starts: &[usize]) -> Vec<bool> {
+    let mut flags = vec![false; line_starts.len()];
+    let bytes = masked.as_bytes();
+    let mut search = 0usize;
+    while let Some(rel) = masked[search..].find("#[cfg(") {
+        let attr_start = search + rel;
+        // The attribute's argument list: check it mentions `test` as a
+        // bare word (`cfg(test)`, `cfg(all(test, ...))`).
+        let attr_end = match_bracket(bytes, attr_start + 1, b'[', b']');
+        let args = &masked[attr_start..attr_end.min(masked.len())];
+        search = attr_start + 6;
+        // `cfg(not(test))` guards production-only code — the opposite of
+        // a test region.
+        if !mentions_test(args) || args.contains("not(test") {
+            continue;
+        }
+        // Skip whitespace and any further attributes to the item, then
+        // find its body: the first `{` before any `;`.
+        let mut j = attr_end;
+        loop {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'#' && bytes.get(j + 1) == Some(&b'[') {
+                j = match_bracket(bytes, j + 1, b'[', b']');
+                continue;
+            }
+            break;
+        }
+        let mut body_open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    body_open = Some(j);
+                    break;
+                }
+                b';' => break, // e.g. `#[cfg(test)] mod tests;`
+                _ => j += 1,
+            }
+        }
+        let Some(open) = body_open else { continue };
+        let close = match_bracket(bytes, open, b'{', b'}');
+        let first = line_of(line_starts, attr_start);
+        let last = line_of(line_starts, close.saturating_sub(1).min(bytes.len() - 1));
+        for line in first..=last {
+            if let Some(f) = flags.get_mut(line - 1) {
+                *f = true;
+            }
+        }
+    }
+    flags
+}
+
+/// `true` when a `cfg` argument list mentions `test` as a bare word.
+fn mentions_test(args: &str) -> bool {
+    let b = args.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = args[from..].find("test") {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident_char(b[at - 1]);
+        let after = at + 4;
+        let after_ok = after >= b.len() || !is_ident_char(b[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 4;
+    }
+    false
+}
+
+/// Offset just past the bracket matching `open_at` (which must point at
+/// the opening bracket). Unbalanced input returns the end of input.
+fn match_bracket(bytes: &[u8], open_at: usize, open: u8, close: u8) -> usize {
+    let mut depth = 0usize;
+    let mut i = open_at;
+    while i < bytes.len() {
+        if bytes[i] == open {
+            depth += 1;
+        } else if bytes[i] == close {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let src = "let a = 1; /* x /* .unwrap() */ y */ let b = 2;";
+        let lx = lex(src);
+        assert!(!lx.masked.contains("unwrap"));
+        assert!(lx.masked.contains("let a = 1;"));
+        assert!(lx.masked.contains("let b = 2;"));
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.comments[0].text.starts_with("/* x /*"));
+        assert!(lx.comments[0].text.ends_with("y */"));
+    }
+
+    #[test]
+    fn line_comments_and_doc_flavours() {
+        let src = "//! module header\n/// item doc\n// plain .unwrap()\nfn f() {}\n";
+        let lx = lex(src);
+        assert!(!lx.masked.contains("unwrap"));
+        assert_eq!(lx.comments.len(), 3);
+        assert!(lx.comments[0].inner_doc);
+        assert!(!lx.comments[1].inner_doc);
+        assert_eq!(lx.comments[2].line, 3);
+        assert!(lx.masked.contains("fn f() {}"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let src = r###"let s = r#"// not a comment, .unwrap() inside"#; let t = 1;"###;
+        let lx = lex(src);
+        assert!(!lx.masked.contains("unwrap"));
+        assert!(!lx.masked.contains("not a comment"));
+        assert!(lx.masked.contains("let t = 1;"));
+        assert!(lx.comments.is_empty(), "raw string is not a comment");
+    }
+
+    #[test]
+    fn plain_strings_hide_contents_but_keep_quotes() {
+        let src = "let s = \"call .unwrap() // now\"; let u = 2;";
+        let lx = lex(src);
+        assert!(!lx.masked.contains("unwrap"));
+        assert!(lx.masked.contains('"'), "delimiters survive masking");
+        assert!(lx.masked.contains("let u = 2;"));
+        assert!(
+            lx.comments.is_empty(),
+            "// inside a string is not a comment"
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a\"b // c"; let v = 3;"#;
+        let lx = lex(src);
+        assert!(lx.comments.is_empty());
+        assert!(lx.masked.contains("let v = 3;"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = "let a = b\"// x\"; let b2 = br#\"/* y */\"#; let c = 4;";
+        let lx = lex(src);
+        assert!(lx.comments.is_empty());
+        assert!(!lx.masked.contains("/* y */"));
+        assert!(lx.masked.contains("let c = 4;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { let c = 'x'; let q = '\\''; x }";
+        let lx = lex(src);
+        // Lifetimes survive masking; char contents are blanked.
+        assert!(lx.masked.contains("'a"));
+        assert!(lx.masked.contains("'static"));
+        assert!(!lx.masked.contains("'x'"));
+        assert!(lx.masked.contains("{ let c ="), "code around chars intact");
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        let src = "for r in rows { var\n= 1; } let s = r\"real raw\";";
+        let lx = lex(src);
+        assert!(lx.masked.contains("for r in rows"));
+        assert!(!lx.masked.contains("real raw"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn live() {}\n\n#[cfg(test)]\nmod tests {\n    fn inner() { x.unwrap(); }\n}\n\nfn live2() {}\n";
+        let lx = lex(src);
+        assert!(!lx.is_test_line(1), "live code before");
+        assert!(lx.is_test_line(3), "attribute line");
+        assert!(lx.is_test_line(4), "mod header");
+        assert!(lx.is_test_line(5), "body");
+        assert!(lx.is_test_line(6), "closing brace");
+        assert!(!lx.is_test_line(8), "live code after");
+    }
+
+    #[test]
+    fn cfg_all_test_counts_cfg_not_test_does_not() {
+        let src = "#[cfg(all(test, unix))]\nmod a { }\n#[cfg(not(test))]\nmod b { }\n#[cfg(feature = \"test-utils\")]\nmod c { }\n";
+        let lx = lex(src);
+        assert!(lx.is_test_line(2), "all(test, ...) is a test region");
+        assert!(!lx.is_test_line(4), "not(test) is production code");
+        assert!(!lx.is_test_line(6), "feature string must not match");
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attributes_and_semicolon_items() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    fn f() {}\n}\n#[cfg(test)]\nmod decl_only;\nfn live() {}\n";
+        let lx = lex(src);
+        assert!(lx.is_test_line(4), "body behind stacked attributes");
+        assert!(!lx.is_test_line(8), "semicolon item has no body to mark");
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_break_test_region_matching() {
+        let src = "#[cfg(test)]\nmod tests {\n    const S: &str = \"}}}\";\n    fn f() {}\n}\nfn live() {}\n";
+        let lx = lex(src);
+        assert!(lx.is_test_line(4));
+        assert!(!lx.is_test_line(6), "region ends at the real brace");
+    }
+
+    #[test]
+    fn line_of_maps_offsets_to_lines() {
+        let src = "a\nbb\nccc\n";
+        let lx = lex(src);
+        assert_eq!(lx.line_of(0), 1);
+        assert_eq!(lx.line_of(2), 2);
+        assert_eq!(lx.line_of(3), 2);
+        assert_eq!(lx.line_of(5), 3);
+    }
+}

@@ -1,0 +1,29 @@
+//! hare-lint: no-alloc
+//!
+//! Fixture: allocation (A) violations in an opted-in module.
+
+fn hot(xs: &[u64], out: &mut [u64]) {
+    let v = Vec::new();
+    let w = vec![0u64; xs.len()];
+    let b = Box::new(42u64);
+    let doubled: Vec<u64> = xs.iter().map(|x| x * 2).collect();
+    let label = format!("{} items", xs.len());
+    let owned = label.to_string();
+    let _ = (v, w, b, doubled, owned);
+    out[0] = 0;
+}
+
+fn also_hot(n: usize) -> u64 {
+    let mut big = Vec::with_capacity(n);
+    big.resize(n, 0u64);
+    big.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn allocating_in_tests_is_fine() {
+        let v: Vec<u64> = (0..8).collect();
+        assert_eq!(v.len(), 8);
+    }
+}

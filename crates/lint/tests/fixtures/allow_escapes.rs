@@ -1,0 +1,31 @@
+//! hare-lint: no-alloc
+//!
+//! Fixture: the `allow(...)` escape hatch, good and bad.
+
+fn setup(n: usize) -> Vec<u64> {
+    // hare-lint: allow(alloc, reason = "setup path, runs once per graph")
+    let mut v = Vec::with_capacity(n);
+    // hare-lint: allow(alloc, reason = "same: filled once, then read-only")
+    v.resize(n, 0);
+    v
+}
+
+fn covered_same_line(n: usize) -> Vec<u64> {
+    vec![0; n] // hare-lint: allow(alloc, reason = "trailing form also works")
+}
+
+fn missing_reason() -> Vec<u64> {
+    // hare-lint: allow(alloc)
+    Vec::new()
+}
+
+fn unknown_tag() -> Vec<u64> {
+    // hare-lint: allow(allocation, reason = "typo in the tag")
+    Vec::new()
+}
+
+fn too_far_away(n: usize) -> Vec<u64> {
+    // hare-lint: allow(alloc, reason = "only reaches the next line")
+    let _gap = n;
+    vec![0; n]
+}

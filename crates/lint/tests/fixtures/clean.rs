@@ -1,0 +1,31 @@
+//! hare-lint: no-alloc
+//!
+//! Fixture: rule-abiding code — D, A, P all forced, zero findings.
+
+struct Lanes {
+    times: Vec<i64>,
+    heads: Vec<u32>,
+}
+
+impl Lanes {
+    fn scan(&self, out: &mut [u64]) {
+        for (i, &t) in self.times.iter().enumerate() {
+            if let Some(slot) = out.get_mut(i % out.len().max(1)) {
+                *slot = (*slot).wrapping_add(t as u64);
+            }
+        }
+        for &h in &self.heads {
+            if let Some(slot) = out.first_mut() {
+                *slot += u64::from(h);
+            }
+        }
+    }
+}
+
+fn lookup(map: &FxHashMap<u32, u64>, k: u32) -> u64 {
+    map.get(&k).copied().unwrap_or(0)
+}
+
+fn safe_parse(s: &str) -> Option<u64> {
+    s.parse().ok()
+}

@@ -1,0 +1,53 @@
+//! Fixture: every determinism (D) violation flavour.
+//! Linted as if it were a counting module (D scope forced).
+
+use std::collections::HashMap;
+
+struct Counts {
+    per_node: FxHashMap<u32, u64>,
+    lanes: Vec<u64>,
+}
+
+impl Counts {
+    fn total(&self) -> u64 {
+        let mut sum = 0;
+        for (_k, v) in self.per_node.iter() {
+            sum += v;
+        }
+        for v in &self.per_node {
+            sum += v.1;
+        }
+        for l in &self.lanes {
+            sum += l; // Vec iteration is ordered: fine
+        }
+        sum
+    }
+
+    fn keys_snapshot(&self) -> Vec<u32> {
+        self.per_node.keys().copied().collect()
+    }
+}
+
+fn fresh_table() -> HashMap<u32, u64> {
+    HashMap::new()
+}
+
+fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn shadowing() {
+    let slot_of = vec![0u32; 4];
+    for s in slot_of.iter() {
+        let _ = s; // Vec named like a map elsewhere: not flagged
+    }
+    let slot_of: FxHashMap<u64, u32> = FxHashMap::default();
+    for (k, s) in slot_of.iter() {
+        let _ = (k, s); // the map under the same name: flagged
+    }
+}

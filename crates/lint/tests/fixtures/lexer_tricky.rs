@@ -1,0 +1,33 @@
+//! hare-lint: no-alloc
+//!
+//! Fixture: rule tokens hidden where the lexer must not look.
+//! D, A, P all forced — every finding here would be a lexer bug,
+//! except the one real violation at the end.
+
+// A comment saying .unwrap() and Vec::new() and panic!() is harmless.
+
+/* Block comment: Instant::now() inside /* nested! .collect() */ here. */
+
+fn strings() -> &'static str {
+    let a = "call .unwrap() or panic!(now) please";
+    let b = r#"raw with // not-a-comment and .expect("x")"#;
+    let c = "escaped \" quote then .to_string() inside";
+    let d = b"bytes with vec![1] inside";
+    let _ = (a, b, c, d);
+    "done"
+}
+
+fn chars_and_lifetimes<'a>(x: &'a [u8]) -> u8 {
+    let quote = '"';
+    let newline = '\n';
+    let letter = 'r';
+    let _ = (quote, newline, letter);
+    match x.first() {
+        Some(&f) => f,
+        None => 0,
+    }
+}
+
+fn the_one_real_violation() -> String {
+    String::new()
+}

@@ -1,0 +1,19 @@
+//! Fixture: panic-safety (P) violations in a request-path module.
+
+fn handle(parts: &[&str], body: &[u8]) -> u64 {
+    let first = parts[0];
+    let id: u64 = first.parse().unwrap();
+    let n = body.first().expect("empty body");
+    if *n > 100 {
+        panic!("bad request");
+    }
+    match id {
+        0 => unreachable!("id zero is reserved"),
+        1 => todo!(),
+        _ => {}
+    }
+    let window = &body[1..4];
+    let i = (id as usize) % body.len();
+    let by_var = body[i];
+    id + u64::from(*n) + u64::from(by_var) + window.len() as u64
+}

@@ -1,0 +1,25 @@
+//! Fixture: unsafe-hygiene (U) violations and satisfied cases.
+
+fn bare_block(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+unsafe fn bare_fn(p: *const u64) -> u64 {
+    *p
+}
+
+fn commented(p: *const u64) -> u64 {
+    // SAFETY: caller guarantees `p` points at a live u64 (checked at
+    // the only call site, which takes it from a pinned buffer).
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_still_needs_safety() {
+        let x = 7u64;
+        let got = unsafe { *(&x as *const u64) };
+        assert_eq!(got, 7);
+    }
+}

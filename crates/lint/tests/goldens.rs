@@ -1,0 +1,123 @@
+//! Golden tests: lint each fixture under `tests/fixtures/` and compare
+//! against its checked-in `.expected` file (lines of
+//! `<line>\t<rule-code>\t<snippet>`).
+//!
+//! Regenerate after an intentional rule change with
+//! `BLESS=1 cargo test -p hare-lint --test goldens`.
+
+use std::fs;
+use std::path::Path;
+
+use hare_lint::rules::{lint_source, ScopeSet};
+
+/// Fixtures and the scopes they are linted under (path scoping doesn't
+/// apply to fixture files, so scopes are forced explicitly).
+const FIXTURES: [(&str, ScopeSet); 7] = [
+    (
+        "determinism_bad.rs",
+        ScopeSet {
+            determinism: true,
+            panic_safety: false,
+            force_no_alloc: false,
+        },
+    ),
+    (
+        "alloc_bad.rs",
+        ScopeSet {
+            determinism: false,
+            panic_safety: false,
+            force_no_alloc: true,
+        },
+    ),
+    (
+        "panic_bad.rs",
+        ScopeSet {
+            determinism: false,
+            panic_safety: true,
+            force_no_alloc: false,
+        },
+    ),
+    (
+        "unsafe_bad.rs",
+        ScopeSet {
+            determinism: false,
+            panic_safety: false,
+            force_no_alloc: false,
+        },
+    ),
+    (
+        "allow_escapes.rs",
+        ScopeSet {
+            determinism: false,
+            panic_safety: false,
+            force_no_alloc: true,
+        },
+    ),
+    (
+        "clean.rs",
+        ScopeSet {
+            determinism: true,
+            panic_safety: true,
+            force_no_alloc: true,
+        },
+    ),
+    (
+        "lexer_tricky.rs",
+        ScopeSet {
+            determinism: true,
+            panic_safety: true,
+            force_no_alloc: true,
+        },
+    ),
+];
+
+#[test]
+fn fixtures_match_expected_findings() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let bless = std::env::var_os("BLESS").is_some();
+    let mut failures = Vec::new();
+    for (name, scopes) in FIXTURES {
+        let src = fs::read_to_string(dir.join(name)).expect(name);
+        let findings = lint_source(name, &src, scopes);
+        let mut actual = String::new();
+        for f in &findings {
+            actual.push_str(&format!("{}\t{}\t{}\n", f.line, f.kind.code(), f.snippet));
+        }
+        let expected_path = dir.join(format!("{name}.expected"));
+        if bless {
+            fs::write(&expected_path, &actual).expect("write expected");
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path).unwrap_or_default();
+        if actual != expected {
+            failures.push(format!(
+                "== {name} ==\n--- expected ---\n{expected}--- actual ---\n{actual}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "fixture findings diverged (run with BLESS=1 to regenerate after an \
+         intentional change):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src = fs::read_to_string(dir.join("clean.rs")).unwrap();
+    let findings = lint_source(
+        "clean.rs",
+        &src,
+        ScopeSet {
+            determinism: true,
+            panic_safety: true,
+            force_no_alloc: true,
+        },
+    );
+    assert!(
+        findings.is_empty(),
+        "clean fixture produced findings: {findings:?}"
+    );
+}

@@ -8,7 +8,7 @@
 //! the matching HTTP status.
 
 use std::io::BufReader;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError};
 
 use hare::sample::{SampleConfig, SampledCounter};
 use hare::{Hare, HareConfig};
@@ -509,7 +509,10 @@ fn with_session(
         return error_response(400, &format!("session id must be an integer, got {id:?}"));
     };
     match state.sessions.get(id) {
-        Some(session) => f(&mut session.lock().expect("session poisoned")),
+        // A worker that panicked mid-push poisons the lock; the session
+        // state itself is a plain counter struct that stays coherent, so
+        // recover rather than cascade the panic across every client.
+        Some(session) => f(&mut session.lock().unwrap_or_else(PoisonError::into_inner)),
         None => error_response(404, &format!("no such session: {id}")),
     }
 }
@@ -531,9 +534,9 @@ fn session_push(state: &AppState, id: &str, req: &Request) -> ApiResponse {
             if r.len() != 3 {
                 return None;
             }
-            let src = r[0].as_u64()?;
-            let dst = r[1].as_u64()?;
-            let t = r[2].as_i64()?;
+            let src = r.first()?.as_u64()?;
+            let dst = r.get(1)?.as_u64()?;
+            let t = r.get(2)?.as_i64()?;
             let max_id = u64::from(u32::MAX >> 1);
             if src > max_id || dst > max_id {
                 return None;

@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Cache key: dataset content fingerprint, δ, and the canonical
 /// engine+parameter string (e.g. `exact/only=all`,
@@ -86,7 +86,7 @@ impl ResultCache {
     /// Look a key up, counting a hit or a miss.
     #[must_use]
     pub fn get(&self, key: &CacheKey) -> Option<Arc<String>> {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
@@ -108,7 +108,7 @@ impl ResultCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
@@ -134,13 +134,17 @@ impl ResultCache {
     /// Drop every cached body (counters are kept). Exposed as
     /// `POST /cache/clear` so benchmarks can measure cold latency.
     pub fn clear(&self) {
-        self.inner.lock().expect("cache poisoned").map.clear();
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .clear();
     }
 
     /// Snapshot the counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         CacheStats {
             capacity: self.capacity,
             entries: inner.map.len(),
@@ -161,6 +165,27 @@ mod tests {
             delta,
             engine: engine.into(),
         }
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers() {
+        let cache = Arc::new(ResultCache::new(4));
+        let k = key(1, 600, "exact/only=all");
+        cache.insert(k.clone(), Arc::new("body".into()));
+
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("worker dies holding the cache lock");
+        })
+        .join();
+
+        // The cache keeps serving instead of wedging every request.
+        assert_eq!(cache.get(&k).as_deref().map(String::as_str), Some("body"));
+        cache.insert(key(2, 600, "exact/only=all"), Arc::new("b2".into()));
+        assert_eq!(cache.stats().entries, 2);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! SNAP-style edge list).
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use temporal_graph::stats::GraphStats;
 use temporal_graph::TemporalGraph;
@@ -70,7 +70,7 @@ impl Catalog {
     pub fn contains(&self, name: &str) -> bool {
         self.inner
             .read()
-            .expect("catalog poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .contains_key(name)
     }
 
@@ -79,7 +79,7 @@ impl Catalog {
     pub fn get(&self, name: &str) -> Option<Arc<DatasetEntry>> {
         self.inner
             .read()
-            .expect("catalog poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .cloned()
     }
@@ -106,7 +106,7 @@ impl Catalog {
             graph: Arc::new(graph),
             source,
         });
-        let mut map = self.inner.write().expect("catalog poisoned");
+        let mut map = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         if map.contains_key(name) {
             return Err(CatalogError::Duplicate(name.to_string()));
         }
@@ -143,7 +143,7 @@ impl Catalog {
         let mut names: Vec<String> = self
             .inner
             .read()
-            .expect("catalog poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .keys()
             .cloned()
             .collect();
@@ -154,7 +154,7 @@ impl Catalog {
     /// All entries, sorted by name.
     #[must_use]
     pub fn entries(&self) -> Vec<Arc<DatasetEntry>> {
-        let map = self.inner.read().expect("catalog poisoned");
+        let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         let mut entries: Vec<Arc<DatasetEntry>> = map.values().cloned().collect();
         entries.sort_by(|a, b| a.name.cmp(&b.name));
         entries
@@ -163,7 +163,10 @@ impl Catalog {
     /// Number of registered datasets.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.read().expect("catalog poisoned").len()
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// `true` when nothing is registered.
@@ -192,6 +195,29 @@ mod tests {
             "shared, not copied"
         );
         assert!(catalog.get("nope").is_none());
+    }
+
+    #[test]
+    fn poisoned_catalog_lock_recovers() {
+        let catalog = Arc::new(Catalog::new());
+        catalog
+            .register("toy", paper_fig1_toy(), "upload".into())
+            .unwrap();
+
+        let poisoner = Arc::clone(&catalog);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.write().unwrap();
+            panic!("worker dies holding the catalog lock");
+        })
+        .join();
+
+        // Lookups and registrations keep working after the poisoning.
+        assert!(catalog.contains("toy"));
+        assert!(catalog.get("toy").is_some());
+        catalog
+            .register("toy2", paper_fig1_toy(), "upload".into())
+            .unwrap();
+        assert_eq!(catalog.len(), 2);
     }
 
     #[test]

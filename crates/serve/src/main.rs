@@ -150,6 +150,13 @@ mod signals {
     /// Install the handlers (idempotent).
     pub fn install() {
         let handler = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: `signal(2)` is called with valid constant signal
+        // numbers and a function pointer of the exact C signature libc
+        // expects (`extern "C" fn(i32)`), passed as the integer-sized
+        // handler argument the raw declaration uses. The handler is
+        // async-signal-safe: it only stores to a static AtomicBool.
+        // Re-installation is idempotent, and no Rust aliasing rules are
+        // involved on either side of the call.
         unsafe {
             signal(SIGINT, handler);
             signal(SIGTERM, handler);

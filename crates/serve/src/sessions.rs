@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use hare::streaming::StreamError;
 use hare::windowed::WindowedCounter;
@@ -109,7 +109,7 @@ impl SessionStore {
         };
         self.inner
             .write()
-            .expect("sessions poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(id, Arc::new(Mutex::new(session)));
         id
     }
@@ -119,7 +119,7 @@ impl SessionStore {
     pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
         self.inner
             .read()
-            .expect("sessions poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&id)
             .cloned()
     }
@@ -128,7 +128,7 @@ impl SessionStore {
     pub fn remove(&self, id: u64) -> bool {
         self.inner
             .write()
-            .expect("sessions poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(&id)
             .is_some()
     }
@@ -139,7 +139,7 @@ impl SessionStore {
         let mut ids: Vec<u64> = self
             .inner
             .read()
-            .expect("sessions poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .keys()
             .copied()
             .collect();
@@ -150,7 +150,10 @@ impl SessionStore {
     /// Number of open sessions.
     #[must_use]
     pub fn open_count(&self) -> usize {
-        self.inner.read().expect("sessions poisoned").len()
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Sessions created over the server's lifetime.
@@ -190,6 +193,49 @@ mod tests {
         assert!(!store.remove(id));
         assert_eq!(store.open_count(), 0);
         assert_eq!(store.created_count(), 1);
+    }
+
+    #[test]
+    fn poisoned_store_lock_recovers() {
+        let store = Arc::new(SessionStore::new());
+        let id = store.create(20, 100, 0);
+
+        // Poison the inner RwLock: a thread panics while holding it.
+        let poisoner = Arc::clone(&store);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.write().unwrap();
+            panic!("worker dies holding the sessions lock");
+        })
+        .join();
+        assert!(store.inner.is_poisoned(), "lock must actually be poisoned");
+
+        // Every verb still works: the map itself was not mid-mutation.
+        assert_eq!(store.open_count(), 1);
+        assert!(store.get(id).is_some());
+        let id2 = store.create(20, 100, 0);
+        assert_eq!(store.ids(), vec![id, id2]);
+        assert!(store.remove(id));
+        assert!(store.remove(id2));
+        assert_eq!(store.open_count(), 0);
+    }
+
+    #[test]
+    fn poisoned_session_lock_recovers() {
+        let store = SessionStore::new();
+        let id = store.create(20, 100, 0);
+        let session = store.get(id).unwrap();
+
+        let hostage = Arc::clone(&session);
+        let _ = std::thread::spawn(move || {
+            let _guard = hostage.lock().unwrap();
+            panic!("worker dies holding a session lock");
+        })
+        .join();
+
+        // The API layer recovers via PoisonError::into_inner; mirror it.
+        let mut s = session.lock().unwrap_or_else(PoisonError::into_inner);
+        let out = s.push_edges(&[(0, 1, 10)]);
+        assert_eq!(out.accepted, 1);
     }
 
     #[test]
