@@ -53,6 +53,21 @@ APPROXIMATE (interval-sampling) MODE:
     --window-factor C   sampling window length factor c >= 1 (default 10)
     --seed S            sampling seed (default 42; same seed, same windows)
 
+PER-NODE (local motif profile) MODE:
+    --nodes             per-node motif participation profiles instead of
+                        the global matrix: stars attribute to their
+                        center, pairs to both endpoints, triangles to
+                        all three vertices. Alone, emits one sparse
+                        profile per participating node; with a ranking
+                        flag, emits a single ranking
+    --rank-motif M      rank nodes by participation in motif M (M11..M66),
+                        ties broken by node id; emits the top --top-k
+                        rows (default 10)
+    --top-k K           with --rank-motif: rows to emit; alone: rank the
+                        K most anomalous nodes by the L2 norm of their
+                        per-motif z-scores against the graph-wide
+                        profile distribution
+
 STREAMING (sliding-window) MODE:
     --window SECONDS    enable streaming: exact counts over the trailing
                         window W >= delta; emits one motif matrix per tick
@@ -88,6 +103,9 @@ struct Opts {
     ci: f64,
     window_factor: i64,
     seed: u64,
+    nodes: bool,
+    top_k: Option<usize>,
+    rank_motif: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
@@ -110,6 +128,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         ci: 0.95,
         window_factor: 10,
         seed: 42,
+        nodes: false,
+        top_k: None,
+        rank_motif: None,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -183,6 +204,15 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--nodes" => o.nodes = true,
+            "--top-k" => {
+                o.top_k = Some(
+                    value("--top-k")?
+                        .parse()
+                        .map_err(|e| format!("--top-k: {e}"))?,
+                )
+            }
+            "--rank-motif" => o.rank_motif = Some(value("--rank-motif")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -253,6 +283,27 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         .any(|f| args.iter().any(|a| a == f))
     {
         return Err("--prob/--ci/--window-factor/--seed require --approx".into());
+    }
+    if o.nodes {
+        if o.delta.is_none() {
+            return Err("--nodes requires --delta".into());
+        }
+        if o.window.is_some() || o.approx || o.stats {
+            return Err("--nodes is exclusive with --window/--approx/--stats".into());
+        }
+        if o.only != "all" {
+            return Err("--only is not supported with --nodes".into());
+        }
+        if o.top_k == Some(0) {
+            return Err("--top-k must be at least 1".into());
+        }
+        if let Some(m) = &o.rank_motif {
+            if let Err(e) = m.parse::<hare::Motif>() {
+                return Err(format!("--rank-motif: {e}"));
+            }
+        }
+    } else if o.top_k.is_some() || o.rank_motif.is_some() {
+        return Err("--top-k/--rank-motif require --nodes".into());
     }
     Ok(o)
 }
@@ -449,6 +500,87 @@ fn run_approx(
     Ok(())
 }
 
+/// Per-node profile mode: sparse local motif profiles, optionally
+/// ranked (top-k by one motif, or by z-score anomaly). JSON output is
+/// timing-free by construction — profile bodies are served from the
+/// `hare-serve` cache and must be byte-stable.
+fn run_nodes(
+    o: &Opts,
+    graph: &temporal_graph::TemporalGraph,
+    stats: &GraphStats,
+    delta: i64,
+) -> Result<(), String> {
+    let start = std::time::Instant::now();
+    let profiles = hare::NodeProfiles::compute(graph, delta, o.threads);
+    let secs = start.elapsed().as_secs_f64();
+
+    if let Some(name) = &o.rank_motif {
+        let motif: hare::Motif = name.parse().expect("validated in parse_args");
+        let k = o.top_k.unwrap_or(10);
+        let ranked = hare::top_k_nodes(&profiles, motif, k);
+        if o.json {
+            let body = hare::report::top_nodes_body(delta, motif, k, &ranked);
+            print!("{}", hare::report::render(&body));
+        } else {
+            println!(
+                "top {k} nodes by {motif} participation | delta = {delta}s | {} participating nodes",
+                profiles.len()
+            );
+            println!("{:>10} {:>12}", "node", "count");
+            for (u, n) in &ranked {
+                println!("{u:>10} {n:>12}");
+            }
+        }
+    } else if let Some(k) = o.top_k {
+        let dist = hare::ProfileDistribution::compute(&profiles);
+        let ranked = hare::rank_by_zscore(&profiles, &dist, k);
+        if o.json {
+            let body = hare::report::zscore_nodes_body(delta, k, &ranked);
+            print!("{}", hare::report::render(&body));
+        } else {
+            println!(
+                "top {k} anomalous nodes by z-score norm | delta = {delta}s | {} participating nodes",
+                profiles.len()
+            );
+            println!("{:>10} {:>12}", "node", "score");
+            for (u, s) in &ranked {
+                println!("{u:>10} {s:>12.3}");
+            }
+        }
+    } else if o.json {
+        // One line per participating node — each line is byte-identical
+        // to the `GET /nodes/{id}/motifs` body for that node.
+        let mut out = String::new();
+        for (u, p) in profiles.iter() {
+            out.push_str(&hare::report::render(&hare::report::node_profile_body(
+                u, delta, p,
+            )));
+        }
+        print!("{out}");
+    } else {
+        let timing = if o.no_timing {
+            String::new()
+        } else {
+            format!(" | computed in {secs:.3}s")
+        };
+        println!(
+            "graph: {} nodes, {} edges | delta = {delta}s | {} participating nodes{timing}",
+            stats.num_nodes,
+            stats.num_edges,
+            profiles.len()
+        );
+        for (u, p) in profiles.iter() {
+            let cells: Vec<String> = p
+                .iter()
+                .filter(|&(_, n)| n > 0)
+                .map(|(m, n)| format!("{m}:{n}"))
+                .collect();
+            println!("node {u:>8} | total {:>8} | {}", p.total(), cells.join(" "));
+        }
+    }
+    Ok(())
+}
+
 fn run(o: &Opts) -> Result<(), String> {
     if o.window.is_some() {
         return run_stream(o);
@@ -491,6 +623,9 @@ fn run(o: &Opts) -> Result<(), String> {
     }
 
     let delta = o.delta.expect("validated");
+    if o.nodes {
+        return run_nodes(o, &graph, &stats, delta);
+    }
     if o.approx {
         return run_approx(o, &graph, &stats, delta);
     }
@@ -789,6 +924,92 @@ mod tests {
         ]))
         .unwrap();
         run(&o).unwrap();
+    }
+
+    #[test]
+    fn parses_nodes_flags() {
+        let o = parse_args(&args(&[
+            "--input",
+            "x.txt",
+            "--delta",
+            "600",
+            "--nodes",
+            "--rank-motif",
+            "M65",
+            "--top-k",
+            "5",
+        ]))
+        .unwrap();
+        assert!(o.nodes);
+        assert_eq!(o.top_k, Some(5));
+        assert_eq!(o.rank_motif.as_deref(), Some("M65"));
+    }
+
+    #[test]
+    fn rejects_bad_nodes_combinations() {
+        // --nodes requires --delta
+        assert!(parse_args(&args(&["--input", "x", "--nodes", "--stats"])).is_err());
+        // exclusive with the other engines and with --only/--stats
+        for extra in [
+            ["--window", "5"],
+            ["--approx", "--nodes"],
+            ["--only", "pairs"],
+        ] {
+            let mut a = args(&["--input", "x", "--delta", "1", "--nodes"]);
+            a.extend(args(extra.as_slice()));
+            assert!(parse_args(&a).is_err(), "{extra:?}");
+        }
+        assert!(parse_args(&args(&[
+            "--input", "x", "--delta", "1", "--nodes", "--stats"
+        ]))
+        .is_err());
+        // ranking flags require --nodes
+        let e = parse_args(&args(&["--input", "x", "--delta", "1", "--top-k", "3"])).unwrap_err();
+        assert!(e.contains("--nodes"), "{e}");
+        assert!(parse_args(&args(&[
+            "--input",
+            "x",
+            "--delta",
+            "1",
+            "--rank-motif",
+            "M65"
+        ]))
+        .is_err());
+        // zero k, invalid motif name
+        assert!(parse_args(&args(&[
+            "--input", "x", "--delta", "1", "--nodes", "--top-k", "0"
+        ]))
+        .is_err());
+        let e = parse_args(&args(&[
+            "--input",
+            "x",
+            "--delta",
+            "1",
+            "--nodes",
+            "--rank-motif",
+            "M70",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--rank-motif"), "{e}");
+    }
+
+    #[test]
+    fn nodes_mode_runs_on_registry_dataset() {
+        for extra in [vec![], vec!["--top-k", "5"], vec!["--rank-motif", "M66"]] {
+            let mut a = vec![
+                "--dataset",
+                "CollegeMsg",
+                "--scale",
+                "8",
+                "--delta",
+                "600",
+                "--nodes",
+                "--json",
+            ];
+            a.extend(extra);
+            let o = parse_args(&args(&a)).unwrap();
+            run(&o).unwrap();
+        }
     }
 
     #[test]

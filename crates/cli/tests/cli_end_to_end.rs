@@ -229,6 +229,151 @@ fn golden_collegemsg_json_is_byte_identical() {
 }
 
 #[test]
+fn golden_fig1_nodes_jsonl_is_byte_identical() {
+    // Per-node mode: one JSON line per participating node, in ascending
+    // node-id order. Node ids here are *interned* by first appearance in
+    // the file (fig1.txt starts "4 3 1", so paper node e=4 becomes 0),
+    // and the golden pins the paper's single M65 pair on interned nodes
+    // 0 and 1.
+    let data = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/fig1.txt");
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/fig1_delta10_nodes.jsonl"
+    );
+    let out = hare_count(&[
+        "--input",
+        data,
+        "--delta",
+        "10",
+        "--nodes",
+        "--json",
+        "--no-timing",
+    ]);
+    assert!(out.status.success());
+    let expected = std::fs::read(golden).expect("golden file present");
+    assert_eq!(
+        out.stdout,
+        expected,
+        "fig1 per-node golden mismatch:\n got: {}\nwant: {}",
+        stdout_of(&out),
+        String::from_utf8_lossy(&expected)
+    );
+}
+
+#[test]
+fn golden_collegemsg_nodes_jsonl_is_byte_identical() {
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/collegemsg_scale8_delta600_nodes.jsonl"
+    );
+    let out = hare_count(&[
+        "--dataset",
+        "CollegeMsg",
+        "--scale",
+        "8",
+        "--delta",
+        "600",
+        "--nodes",
+        "--json",
+        "--no-timing",
+    ]);
+    assert!(out.status.success());
+    let expected = std::fs::read(golden).expect("golden file present");
+    assert_eq!(
+        out.stdout,
+        expected,
+        "CollegeMsg per-node golden mismatch (first differing line: {:?})",
+        stdout_of(&out)
+            .lines()
+            .zip(String::from_utf8_lossy(&expected).lines())
+            .find(|(a, b)| a != b)
+    );
+}
+
+#[test]
+fn nodes_rankings_are_consistent_with_profiles() {
+    // `--rank-motif` top-k must agree with what the per-node records say:
+    // the reported counts are exactly the highest counts for that motif,
+    // ties broken by ascending node id.
+    let common = [
+        "--dataset",
+        "CollegeMsg",
+        "--scale",
+        "8",
+        "--delta",
+        "600",
+        "--nodes",
+        "--json",
+        "--no-timing",
+    ];
+    let profiles = hare_count(&common);
+    assert!(profiles.status.success());
+    let m66_of = |line: &str| -> (u64, u64) {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        let count = v["counts"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c["motif"].as_str() == Some("M66"))
+            .and_then(|c| c["count"].as_u64())
+            .unwrap_or(0);
+        (v["node"].as_u64().unwrap(), count)
+    };
+    let mut by_m66: Vec<(u64, u64)> = stdout_of(&profiles)
+        .lines()
+        .map(m66_of)
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    by_m66.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    by_m66.truncate(3);
+
+    let ranked: Vec<&str> = common
+        .iter()
+        .copied()
+        .chain(["--rank-motif", "M66", "--top-k", "3"])
+        .collect();
+    let ranked = hare_count(&ranked);
+    assert!(ranked.status.success());
+    let v: serde_json::Value = serde_json::from_str(stdout_of(&ranked).trim()).unwrap();
+    assert_eq!(v["rank"].as_str(), Some("motif"));
+    assert_eq!(v["motif"].as_str(), Some("M66"));
+    let got: Vec<(u64, u64)> = v["nodes"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|n| (n["node"].as_u64().unwrap(), n["count"].as_u64().unwrap()))
+        .collect();
+    assert_eq!(got, by_m66, "top-k disagrees with per-node records");
+}
+
+#[test]
+fn nodes_mode_rejects_incompatible_flags() {
+    for args in [
+        ["--nodes", "--approx"].as_slice(),
+        &["--nodes", "--window", "1200"],
+        &["--nodes", "--stats"],
+        &["--nodes", "--only", "pairs"],
+        &["--top-k", "5"],
+        &["--rank-motif", "M66"],
+        &["--nodes", "--rank-motif", "M99"],
+        &["--nodes", "--top-k", "0"],
+    ] {
+        let full: Vec<&str> = ["--dataset", "CollegeMsg", "--delta", "600"]
+            .iter()
+            .copied()
+            .chain(args.iter().copied())
+            .collect();
+        let out = hare_count(&full);
+        assert!(!out.status.success(), "expected failure for {args:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("--nodes") || err.contains("--top-k") || err.contains("motif"),
+            "{args:?}: {err}"
+        );
+    }
+}
+
+#[test]
 fn malformed_input_reports_line_number_and_fails() {
     let dir = temp_dir("malformed");
     let path = dir.join("bad.txt");

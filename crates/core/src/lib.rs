@@ -78,6 +78,9 @@ pub mod windowed;
 pub mod windows;
 
 pub use counters::{MotifCounts, MotifMatrix, PairCounter, StarCounter, TriCounter};
+pub use fingerprint::{
+    node_profiles, rank_by_zscore, top_k_nodes, NodeProfile, NodeProfiles, ProfileDistribution,
+};
 pub use hare::{DegreeThreshold, Hare, HareConfig, Scheduling};
 pub use motif::{Motif, MotifCategory, StarType, TriType};
 pub use sample::{MotifEstimate, SampleConfig, SampledCounter, SampledCounts};

@@ -74,6 +74,28 @@ impl Motif {
     }
 }
 
+impl std::str::FromStr for Motif {
+    type Err = String;
+
+    /// Parse the canonical `M{row}{col}` grid name (`"M11"`..`"M66"`,
+    /// case-insensitive on the `M`) — the inverse of [`Motif`]'s
+    /// `Display`. Used by `--rank-motif` and the `/nodes/top?motif=`
+    /// query parameter.
+    fn from_str(s: &str) -> Result<Motif, String> {
+        let err = || format!("invalid motif {s:?}: expected M11..M66");
+        let digits = s.strip_prefix('M').or_else(|| s.strip_prefix('m'));
+        let [r, c] = digits.ok_or_else(err)?.as_bytes() else {
+            return Err(err());
+        };
+        let (row, col) = (r.wrapping_sub(b'0'), c.wrapping_sub(b'0'));
+        if (1..=6).contains(&row) && (1..=6).contains(&col) {
+            Ok(Motif { row, col })
+        } else {
+            Err(err())
+        }
+    }
+}
+
 impl std::fmt::Display for Motif {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "M{}{}", self.row, self.col)
@@ -479,5 +501,16 @@ mod tests {
         assert_eq!(tri_motif(TriType::I, Out, In, In), m(3, 6));
         assert_eq!(tri_motif(TriType::II, Out, Out, In), m(3, 6));
         assert_eq!(tri_motif(TriType::III, In, In, Out), m(3, 6));
+    }
+
+    #[test]
+    fn motif_parse_roundtrips_display() {
+        for motif in Motif::all() {
+            assert_eq!(motif.to_string().parse::<Motif>(), Ok(motif));
+        }
+        assert_eq!("m65".parse::<Motif>(), Ok(m(6, 5)));
+        for bad in ["", "M", "M1", "M111", "M07", "M70", "X11", "M 1", "Mab"] {
+            assert!(bad.parse::<Motif>().is_err(), "{bad:?}");
+        }
     }
 }

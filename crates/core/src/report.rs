@@ -20,6 +20,19 @@
 //! * [`graph_stats_body`] — graph shape only (`hare-count --stats`,
 //!   dataset registration responses).
 //!
+//! The per-node query family adds three more shapes, all timing-free by
+//! construction (profiles are served from the cache, so their bytes must
+//! be stable):
+//!
+//! * [`node_profile_body`] — one node's sparse motif profile
+//!   (`GET /nodes/{id}/motifs`, one line per node of
+//!   `hare-count --nodes --json`):
+//!   `{"node","delta","total","counts":[{"motif","count"}… nonzero only]}`
+//! * [`top_nodes_body`] — top-k nodes by one motif's participation
+//!   (`GET /nodes/top?motif=M`, `hare-count --nodes --rank-motif M`)
+//! * [`zscore_nodes_body`] — top-k anomalous nodes by z-score norm
+//!   (`GET /nodes/top` without `motif`, `hare-count --nodes --top-k K`)
+//!
 //! Timing (`"seconds"`) is the single nondeterministic field; it is
 //! `Option`al and omitted under `--no-timing` — and *always* omitted by
 //! the server, whose bodies must be cacheable and byte-stable. Rendering
@@ -29,11 +42,12 @@
 use serde_json::Value;
 
 use crate::counters::MotifMatrix;
-use crate::motif::MotifCategory;
+use crate::fingerprint::NodeProfile;
+use crate::motif::{Motif, MotifCategory};
 use crate::sample::SampledCounts;
 use crate::windowed::WindowedCounter;
 use temporal_graph::stats::GraphStats;
-use temporal_graph::Timestamp;
+use temporal_graph::{NodeId, Timestamp};
 
 /// The 36 exact-count cells, row-major over the canonical grid:
 /// `[{"motif":"M11","count":n}, ...]`.
@@ -155,6 +169,59 @@ pub fn graph_stats_body(stats: &GraphStats) -> Value {
     })
 }
 
+/// One node's sparse motif profile: only the nonzero cells, in
+/// row-major grid order. The dense 36-vector is recoverable (absent
+/// motifs are zero), but real per-node profiles are overwhelmingly
+/// sparse and these bytes go over the wire per node.
+#[must_use]
+pub fn node_profile_body(node: NodeId, delta: Timestamp, profile: &NodeProfile) -> Value {
+    let cells: Vec<Value> = profile
+        .iter()
+        .filter(|&(_, n)| n > 0)
+        .map(|(m, n)| serde_json::json!({"motif": m.to_string(), "count": n}))
+        .collect();
+    serde_json::json!({
+        "node": node,
+        "delta": delta,
+        "total": profile.total(),
+        "counts": Value::from(cells),
+    })
+}
+
+/// Top-k nodes ranked by participation in one motif (count descending,
+/// node id ascending on ties — the ranking is already deterministic
+/// when it reaches this builder).
+#[must_use]
+pub fn top_nodes_body(delta: Timestamp, motif: Motif, k: usize, ranked: &[(NodeId, u64)]) -> Value {
+    let rows: Vec<Value> = ranked
+        .iter()
+        .map(|&(u, n)| serde_json::json!({"node": u, "count": n}))
+        .collect();
+    serde_json::json!({
+        "delta": delta,
+        "rank": "motif",
+        "motif": motif.to_string(),
+        "k": k,
+        "nodes": Value::from(rows),
+    })
+}
+
+/// Top-k most anomalous nodes by the L2 norm of their per-motif
+/// z-scores against the graph-wide profile distribution.
+#[must_use]
+pub fn zscore_nodes_body(delta: Timestamp, k: usize, ranked: &[(NodeId, f64)]) -> Value {
+    let rows: Vec<Value> = ranked
+        .iter()
+        .map(|&(u, s)| serde_json::json!({"node": u, "score": s}))
+        .collect();
+    serde_json::json!({
+        "delta": delta,
+        "rank": "zscore",
+        "k": k,
+        "nodes": Value::from(rows),
+    })
+}
+
 /// Render a body exactly as every front-end emits it: the compact JSON
 /// document plus one trailing newline (the CLI's `println!`). Server
 /// responses use these bytes verbatim, which is what makes them
@@ -264,6 +331,53 @@ mod tests {
             "drifted: {body}"
         );
         assert!(body.contains("\"mean_degree\":"), "{body}");
+    }
+
+    #[test]
+    fn node_profile_body_bytes_are_pinned() {
+        // The M65 pair instance on the Fig. 1 toy is attributed to
+        // v_d = 3; its profile body is sparse (no zero cells).
+        let g = paper_fig1_toy();
+        let profiles = crate::fingerprint::NodeProfiles::compute(&g, 10, 1);
+        let p = profiles.get(3).expect("node 3 participates");
+        let body = render(&node_profile_body(3, 10, p));
+        assert!(
+            body.starts_with(r#"{"node":3,"delta":10,"total":"#),
+            "prefix drifted: {body}"
+        );
+        assert!(body.contains(r#"{"motif":"M65","count":1}"#), "{body}");
+        assert!(!body.contains(r#""count":0"#), "zero cells leaked: {body}");
+        // Cells stay in row-major grid order after the sparse filter.
+        let mut last = 0u8;
+        for (i, _) in body.match_indices(r#""motif":"M"#) {
+            let cell = &body.as_bytes()[i + 10..i + 12];
+            let rank = (cell[0] - b'0') * 6 + (cell[1] - b'0');
+            assert!(rank > last, "out of order: {body}");
+            last = rank;
+        }
+    }
+
+    #[test]
+    fn top_nodes_body_bytes_are_pinned() {
+        let body = render(&top_nodes_body(
+            10,
+            crate::motif::m(6, 5),
+            2,
+            &[(3, 1), (4, 1)],
+        ));
+        assert_eq!(
+            body,
+            "{\"delta\":10,\"rank\":\"motif\",\"motif\":\"M65\",\"k\":2,\"nodes\":[{\"node\":3,\"count\":1},{\"node\":4,\"count\":1}]}\n"
+        );
+    }
+
+    #[test]
+    fn zscore_nodes_body_bytes_are_pinned() {
+        let body = render(&zscore_nodes_body(10, 2, &[(0, 2.5), (4, 1.0)]));
+        assert_eq!(
+            body,
+            "{\"delta\":10,\"rank\":\"zscore\",\"k\":2,\"nodes\":[{\"node\":0,\"score\":2.5},{\"node\":4,\"score\":1.0}]}\n"
+        );
     }
 
     #[test]

@@ -33,12 +33,13 @@ const DETERMINISM_SCOPE: [&str; 5] = [
 
 /// `hare-serve` request-path modules bound by the panic-safety (P)
 /// rules: a panic here kills a pool worker mid-request.
-const PANIC_SCOPE: [&str; 5] = [
+const PANIC_SCOPE: [&str; 6] = [
     "crates/serve/src/api.rs",
     "crates/serve/src/http.rs",
     "crates/serve/src/sessions.rs",
     "crates/serve/src/catalog.rs",
     "crates/serve/src/cache.rs",
+    "crates/serve/src/nodes.rs",
 ];
 
 /// Rule scopes for a repo-relative path (forward slashes). The A family
@@ -110,6 +111,7 @@ mod tests {
         assert!(scopes_for("crates/temporal-graph/src/graph.rs").determinism);
         assert!(!scopes_for("crates/core/src/lib.rs").determinism);
         assert!(scopes_for("crates/serve/src/api.rs").panic_safety);
+        assert!(scopes_for("crates/serve/src/nodes.rs").panic_safety);
         assert!(!scopes_for("crates/serve/src/main.rs").panic_safety);
     }
 

@@ -63,6 +63,8 @@ pub fn handle(state: &AppState, req: &Request) -> ApiResponse {
         ("GET", ["datasets"]) => list_datasets(state),
         ("POST", ["datasets"]) => register_dataset(state, req),
         ("GET", ["count"]) => count(state, req),
+        ("GET", ["nodes", "top"]) => crate::nodes::top_nodes(state, req),
+        ("GET", ["nodes", id, "motifs"]) => crate::nodes::node_motifs(state, req, id),
         ("POST", ["cache", "clear"]) => {
             state.cache.clear();
             ok(200, &serde_json::json!({"cleared": true}))
@@ -80,7 +82,7 @@ pub fn handle(state: &AppState, req: &Request) -> ApiResponse {
         // Known resources reached with the wrong verb get a 405 so
         // clients can tell "wrong method" from "wrong path".
         (_, [] | ["stats"] | ["datasets"] | ["count"] | ["cache", "clear"] | ["shutdown"])
-        | (_, ["sessions", ..]) => error_response(
+        | (_, ["sessions" | "nodes", ..]) => error_response(
             405,
             &format!("method {} is not supported on {}", req.method, req.path),
         ),
@@ -95,6 +97,8 @@ fn index() -> ApiResponse {
             "service": "hare-serve",
             "endpoints": [
                 "GET /count?dataset=NAME&delta=SECONDS[&only=pairs|stars|triangles][&engine=approx&prob=P&ci=L&window_factor=C&seed=S][&threads=N]",
+                "GET /nodes/{id}/motifs?dataset=NAME&delta=SECONDS[&threads=N]",
+                "GET /nodes/top?dataset=NAME&delta=SECONDS[&motif=M][&k=K][&threads=N]",
                 "GET /datasets",
                 "POST /datasets",
                 "GET /sessions",
@@ -218,7 +222,7 @@ fn register_dataset(state: &AppState, req: &Request) -> ApiResponse {
 
 /// Parse a required/optional typed query parameter; `Err` is a ready
 /// 400 response.
-fn param<T: std::str::FromStr>(
+pub(crate) fn param<T: std::str::FromStr>(
     req: &Request,
     name: &str,
     default: Option<T>,
@@ -336,7 +340,7 @@ impl Plan {
 /// Upper bound on `?threads=`: far above any real core count, low
 /// enough that a hostile value cannot exhaust OS threads (the vendored
 /// rayon pool spawns up to this many workers per query).
-const MAX_QUERY_THREADS: usize = 1024;
+pub(crate) const MAX_QUERY_THREADS: usize = 1024;
 
 fn count(state: &AppState, req: &Request) -> ApiResponse {
     let Some(dataset) = req.query_param("dataset") else {

@@ -56,6 +56,7 @@ pub mod api;
 pub mod cache;
 pub mod catalog;
 pub mod http;
+pub mod nodes;
 pub mod sessions;
 
 use std::net::{SocketAddr, TcpListener, TcpStream};

@@ -1,0 +1,286 @@
+//! Per-node profile endpoints: `GET /nodes/{id}/motifs` and
+//! `GET /nodes/top`.
+//!
+//! Both serve the `hare::fingerprint` query family over the same
+//! contract as `/count`: the body is built by `hare::report`, carries
+//! no timing, and is byte-identical to the matching
+//! `hare-count --nodes --json --no-timing` output (per-node lines for
+//! `/nodes/{id}/motifs`, the single ranking line for `/nodes/top`).
+//! Results are cached under the existing `(fingerprint, delta, engine)`
+//! LRU key scheme with a `nodes/...` engine string, so repeated profile
+//! queries against an unchanged dataset are cache hits.
+
+use std::sync::Arc;
+
+use temporal_graph::{NodeId, Timestamp};
+
+use crate::api::{error_response, param, ApiResponse, MAX_QUERY_THREADS};
+use crate::cache::CacheKey;
+use crate::catalog::DatasetEntry;
+use crate::http::Request;
+use crate::AppState;
+
+/// The `(dataset, delta, threads)` triple every per-node query starts
+/// from, validated exactly like `/count` (same error shapes).
+struct NodeQuery {
+    entry: Arc<DatasetEntry>,
+    delta: Timestamp,
+    threads: usize,
+}
+
+fn node_query(state: &AppState, req: &Request) -> Result<NodeQuery, Box<ApiResponse>> {
+    let Some(dataset) = req.query_param("dataset") else {
+        return Err(Box::new(error_response(
+            400,
+            "missing required parameter 'dataset'",
+        )));
+    };
+    let Some(entry) = state.catalog.get(dataset) else {
+        return Err(Box::new(error_response(
+            404,
+            &format!(
+                "dataset {dataset:?} is not in the catalog; registered: [{}]",
+                state.catalog.names().join(", ")
+            ),
+        )));
+    };
+    let delta: Timestamp = param(req, "delta", None)?;
+    let threads: usize = param(req, "threads", Some(state.cfg.query_threads))?;
+    if threads > MAX_QUERY_THREADS {
+        return Err(Box::new(error_response(
+            400,
+            &format!("parameter 'threads' must be at most {MAX_QUERY_THREADS}, got {threads}"),
+        )));
+    }
+    Ok(NodeQuery {
+        entry,
+        delta,
+        threads,
+    })
+}
+
+/// Serve a body from the LRU cache, computing and inserting on a miss.
+/// `engine` is the canonical parameter string of the query (threads
+/// excluded: profiles are bit-identical across thread counts).
+fn cached(
+    state: &AppState,
+    q: &NodeQuery,
+    engine: String,
+    compute: impl FnOnce() -> serde_json::Value,
+) -> ApiResponse {
+    let key = CacheKey {
+        fingerprint: q.entry.fingerprint,
+        delta: q.delta,
+        engine,
+    };
+    if let Some(body) = state.cache.get(&key) {
+        return ApiResponse {
+            status: 200,
+            body,
+            shutdown: false,
+        };
+    }
+    let rendered = Arc::new(hare::report::render(&compute()));
+    state.cache.insert(key, Arc::clone(&rendered));
+    ApiResponse {
+        status: 200,
+        body: rendered,
+        shutdown: false,
+    }
+}
+
+/// `GET /nodes/{id}/motifs?dataset=NAME&delta=SECONDS[&threads=N]` —
+/// one node's sparse motif participation profile. Unknown node ids are
+/// 404; a known node with no participation gets its (empty) profile.
+pub(crate) fn node_motifs(state: &AppState, req: &Request, id: &str) -> ApiResponse {
+    let Ok(node) = id.parse::<NodeId>() else {
+        return error_response(400, &format!("node id must be an integer, got {id:?}"));
+    };
+    let q = match node_query(state, req) {
+        Ok(q) => q,
+        Err(resp) => return *resp,
+    };
+    if node as usize >= q.entry.stats.num_nodes {
+        return error_response(
+            404,
+            &format!(
+                "no such node: {node} (dataset has {} nodes)",
+                q.entry.stats.num_nodes
+            ),
+        );
+    }
+    cached(state, &q, format!("nodes/node={node}"), || {
+        let profiles = hare::NodeProfiles::compute(&q.entry.graph, q.delta, q.threads);
+        let empty = hare::NodeProfile::default();
+        let profile = profiles.get(node).unwrap_or(&empty);
+        hare::report::node_profile_body(node, q.delta, profile)
+    })
+}
+
+/// `GET /nodes/top?dataset=NAME&delta=SECONDS[&motif=M][&k=K][&threads=N]`
+/// — the top-k ranking: by one motif's participation when `motif` is
+/// given (count descending, node id ascending on ties), otherwise by
+/// z-score anomaly against the graph-wide profile distribution.
+pub(crate) fn top_nodes(state: &AppState, req: &Request) -> ApiResponse {
+    let k: usize = match param(req, "k", Some(10)) {
+        Ok(v) => v,
+        Err(resp) => return *resp,
+    };
+    if k == 0 {
+        return error_response(400, "parameter 'k' must be at least 1");
+    }
+    let motif = match req.query_param("motif") {
+        Some(raw) => match raw.parse::<hare::Motif>() {
+            Ok(m) => Some(m),
+            Err(e) => return error_response(400, &format!("parameter 'motif': {e}")),
+        },
+        None => None,
+    };
+    let q = match node_query(state, req) {
+        Ok(q) => q,
+        Err(resp) => return *resp,
+    };
+    let engine = match motif {
+        Some(m) => format!("nodes/top/motif={m}/k={k}"),
+        None => format!("nodes/top/rank=zscore/k={k}"),
+    };
+    cached(state, &q, engine, || {
+        let profiles = hare::NodeProfiles::compute(&q.entry.graph, q.delta, q.threads);
+        match motif {
+            Some(m) => {
+                let ranked = hare::top_k_nodes(&profiles, m, k);
+                hare::report::top_nodes_body(q.delta, m, k, &ranked)
+            }
+            None => {
+                let dist = hare::ProfileDistribution::compute(&profiles);
+                let ranked = hare::rank_by_zscore(&profiles, &dist, k);
+                hare::report::zscore_nodes_body(q.delta, k, &ranked)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::http::client;
+    use crate::{Server, ServerConfig, ServerHandle};
+
+    /// A server with the paper's Fig. 1 toy uploaded as dataset "fig1".
+    /// Uploads intern ids by first appearance, so the paper's nodes map
+    /// to e=0, d=1, a=2, c=3, b=4 — the single M65 pair at δ=10 sits on
+    /// nodes 0 (v_e) and 1 (v_d).
+    fn fig1_server() -> ServerHandle {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            query_threads: 1,
+            ..ServerConfig::default()
+        })
+        .expect("bind")
+        .spawn();
+        let edges = "4 3 1\n0 2 4\n4 2 6\n0 2 8\n3 0 9\n3 2 10\n0 1 11\n3 4 14\n0 2 15\n2 3 17\n4 3 18\n3 4 21\n";
+        let body = serde_json::json!({"name": "fig1", "edges": edges}).to_string();
+        let resp = client::post(server.addr(), "/datasets", &body).unwrap();
+        assert_eq!(resp.status, 201, "{}", resp.text());
+        server
+    }
+
+    #[test]
+    fn node_motifs_serves_sparse_profile() {
+        let server = fig1_server();
+        let resp = client::get(server.addr(), "/nodes/1/motifs?dataset=fig1&delta=10").unwrap();
+        let body = resp.text();
+        assert_eq!(resp.status, 200, "{body}");
+        assert!(
+            body.starts_with(r#"{"node":1,"delta":10,"total":"#),
+            "{body}"
+        );
+        assert!(body.contains(r#"{"motif":"M65","count":1}"#), "{body}");
+        assert!(!body.contains(r#""count":0"#), "{body}");
+        server.shutdown_and_wait().unwrap();
+    }
+
+    #[test]
+    fn node_motifs_rejects_bad_and_unknown_ids() {
+        let server = fig1_server();
+        let resp = client::get(server.addr(), "/nodes/abc/motifs?dataset=fig1&delta=10").unwrap();
+        assert_eq!(resp.status, 400, "{}", resp.text());
+        let resp = client::get(server.addr(), "/nodes/999/motifs?dataset=fig1&delta=10").unwrap();
+        assert_eq!(resp.status, 404, "{}", resp.text());
+        assert!(resp.text().contains("no such node"), "{}", resp.text());
+        let resp = client::get(server.addr(), "/nodes/3/motifs?dataset=nope&delta=10").unwrap();
+        assert_eq!(resp.status, 404);
+        let resp = client::get(server.addr(), "/nodes/3/motifs?dataset=fig1").unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp.text().contains("delta"), "{}", resp.text());
+        server.shutdown_and_wait().unwrap();
+    }
+
+    #[test]
+    fn top_nodes_ranks_by_motif_and_zscore() {
+        let server = fig1_server();
+        let resp = client::get(
+            server.addr(),
+            "/nodes/top?dataset=fig1&delta=10&motif=M65&k=2",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.text(),
+            "{\"delta\":10,\"rank\":\"motif\",\"motif\":\"M65\",\"k\":2,\"nodes\":[{\"node\":0,\"count\":1},{\"node\":1,\"count\":1}]}\n"
+        );
+        let resp = client::get(server.addr(), "/nodes/top?dataset=fig1&delta=10&k=3").unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(
+            resp.text()
+                .starts_with(r#"{"delta":10,"rank":"zscore","k":3,"nodes":["#),
+            "{}",
+            resp.text()
+        );
+        server.shutdown_and_wait().unwrap();
+    }
+
+    #[test]
+    fn top_nodes_rejects_bad_parameters() {
+        let server = fig1_server();
+        let resp =
+            client::get(server.addr(), "/nodes/top?dataset=fig1&delta=10&motif=M99").unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp.text().contains("motif"), "{}", resp.text());
+        let resp = client::get(server.addr(), "/nodes/top?dataset=fig1&delta=10&k=0").unwrap();
+        assert_eq!(resp.status, 400);
+        let resp = client::get(server.addr(), "/nodes/top?dataset=fig1&delta=10&k=-1").unwrap();
+        assert_eq!(resp.status, 400);
+        server.shutdown_and_wait().unwrap();
+    }
+
+    #[test]
+    fn node_bodies_are_cached_under_distinct_keys() {
+        let server = fig1_server();
+        let paths = [
+            "/nodes/3/motifs?dataset=fig1&delta=10",
+            "/nodes/4/motifs?dataset=fig1&delta=10",
+            "/nodes/top?dataset=fig1&delta=10&motif=M65&k=2",
+            "/nodes/top?dataset=fig1&delta=10&k=2",
+        ];
+        let get = |p: &str| client::get(server.addr(), p).unwrap().text();
+        let first: Vec<String> = paths.iter().map(|p| get(p)).collect();
+        let second: Vec<String> = paths.iter().map(|p| get(p)).collect();
+        assert_eq!(first, second, "cached bodies are byte-identical");
+        assert_ne!(first[0], first[1], "distinct nodes, distinct bodies");
+        let stats = client::get(server.addr(), "/stats")
+            .unwrap()
+            .json()
+            .unwrap();
+        assert_eq!(stats["cache"]["hits"].as_u64(), Some(4), "{stats}");
+        assert_eq!(stats["cache"]["misses"].as_u64(), Some(4), "{stats}");
+        server.shutdown_and_wait().unwrap();
+    }
+
+    #[test]
+    fn wrong_verb_on_nodes_paths_is_405() {
+        let server = fig1_server();
+        let resp = client::post(server.addr(), "/nodes/top?dataset=fig1&delta=10", "{}").unwrap();
+        assert_eq!(resp.status, 405, "{}", resp.text());
+        server.shutdown_and_wait().unwrap();
+    }
+}

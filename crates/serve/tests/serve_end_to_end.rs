@@ -336,6 +336,106 @@ fn streaming_session_flush_matches_cli_final_tick() {
 }
 
 #[test]
+fn node_profile_bodies_are_byte_identical_to_cli() {
+    // `hare-count --nodes --json` emits one line per participating
+    // node; each `/nodes/{id}/motifs` body must be byte-identical to
+    // that node's line.
+    let server = ServeProc::spawn(&["--preload", "CollegeMsg:8", "--threads", "1"]);
+    let cli = hare_count(&[
+        "--dataset",
+        "CollegeMsg",
+        "--scale",
+        "8",
+        "--delta",
+        "600",
+        "--nodes",
+        "--json",
+        "--no-timing",
+    ]);
+    let stdout = String::from_utf8(cli.stdout).unwrap();
+    let mut checked = 0;
+    for line in stdout.lines().take(5).chain(stdout.lines().last()) {
+        let v: serde_json::Value = serde_json::from_str(line).expect("CLI line is JSON");
+        let node = v["node"].as_u64().expect("node id");
+        let resp = server.get(&format!(
+            "/nodes/{node}/motifs?dataset=CollegeMsg&delta=600"
+        ));
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert_eq!(
+            resp.text().trim_end(),
+            line,
+            "node {node}: serve body != CLI per-node record"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 2, "CollegeMsg:8 should have participating nodes");
+
+    // A valid but non-participating node (if any exists beyond the CLI's
+    // sparse output) serves an empty profile rather than an error; an
+    // out-of-range id is a 404.
+    let resp = server.get("/nodes/999999/motifs?dataset=CollegeMsg&delta=600");
+    assert_eq!(resp.status, 404, "{}", resp.text());
+    assert!(resp.text().contains("no such node"), "{}", resp.text());
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn top_nodes_bodies_match_cli_and_hit_cache() {
+    let server = ServeProc::spawn(&["--preload", "CollegeMsg:8", "--threads", "1"]);
+    // Ranked by one motif.
+    let target = "/nodes/top?dataset=CollegeMsg&delta=600&motif=M66&k=5";
+    let first = server.get(target);
+    assert_eq!(first.status, 200, "{}", first.text());
+    let cli = hare_count(&[
+        "--dataset",
+        "CollegeMsg",
+        "--scale",
+        "8",
+        "--delta",
+        "600",
+        "--nodes",
+        "--rank-motif",
+        "M66",
+        "--top-k",
+        "5",
+        "--json",
+        "--no-timing",
+    ]);
+    assert_eq!(first.body, cli.stdout, "top-k body != CLI stdout");
+
+    // Ranked by z-score anomaly (no motif parameter).
+    let ztarget = "/nodes/top?dataset=CollegeMsg&delta=600&k=5";
+    let zfirst = server.get(ztarget);
+    assert_eq!(zfirst.status, 200, "{}", zfirst.text());
+    let zcli = hare_count(&[
+        "--dataset",
+        "CollegeMsg",
+        "--scale",
+        "8",
+        "--delta",
+        "600",
+        "--nodes",
+        "--top-k",
+        "5",
+        "--json",
+        "--no-timing",
+    ]);
+    assert_eq!(zfirst.body, zcli.stdout, "z-score body != CLI stdout");
+
+    // Repeats are cache hits with byte-identical bodies; /stats counters
+    // reconcile exactly (2 misses above, 2 hits here).
+    let second = server.get(target);
+    let zsecond = server.get(ztarget);
+    assert_eq!(second.body, first.body);
+    assert_eq!(zsecond.body, zfirst.body);
+    let stats = server.get("/stats").json().unwrap();
+    assert_eq!(stats["cache"]["misses"].as_u64(), Some(2), "{stats}");
+    assert_eq!(stats["cache"]["hits"].as_u64(), Some(2), "{stats}");
+    assert_eq!(stats["cache"]["entries"].as_u64(), Some(2), "{stats}");
+    server.shutdown_and_wait();
+}
+
+#[test]
 fn malformed_requests_return_structured_errors() {
     let server = ServeProc::spawn(&["--preload", "CollegeMsg:16"]);
     let cases: &[(&str, u16, &str)] = &[

@@ -3,23 +3,41 @@
 //! motifs capture local high-order structures that sampling methods
 //! fail to preserve).
 //!
-//! We generate stand-ins for several of the paper's datasets, compute
-//! each graph's normalised 36-dimensional motif distribution, and print
-//! the pairwise cosine similarities: graphs of the same workload family
-//! (messaging vs transaction vs talk pages) cluster together even at
-//! different sizes — the motif fingerprint is a scale-free structural
-//! signature.
+//! Two levels of the same signature:
+//!
+//! 1. **Graph fingerprints** — each graph's normalised 36-dimensional
+//!    motif distribution, recovered here from the per-node profile
+//!    table via the attribution sum invariant (column sum = 1×/2×/3×
+//!    the global count). Graphs of the same workload family cluster
+//!    together even at different sizes.
+//! 2. **Node profiles** — the per-node rows themselves
+//!    ([`hare::NodeProfiles`]), ranked by a single motif
+//!    ([`hare::top_k_nodes`]) and by z-score anomaly against the
+//!    population distribution ([`hare::rank_by_zscore`]).
 //!
 //! ```text
 //! cargo run --release -p hare-examples --example motif_fingerprints
 //! ```
 
-use hare::{Hare, Motif};
+use hare::{Motif, NodeProfiles, ProfileDistribution};
 
-fn fingerprint(g: &temporal_graph::TemporalGraph, delta: i64) -> Vec<f64> {
-    let counts = Hare::with_threads(0).count_all(g, delta);
-    let total = counts.total().max(1) as f64;
-    Motif::all().map(|m| counts.get(m) as f64 / total).collect()
+/// Normalised 36-dim motif distribution, derived from the node-profile
+/// table: dividing each profile column's sum by its attribution
+/// multiplicity (1 star / 2 pair / 3 triangle) recovers the global
+/// count, so the fingerprint falls out of one per-node pass.
+fn fingerprint(profiles: &NodeProfiles) -> Vec<f64> {
+    let mut sum = [0u64; 36];
+    for (_, p) in profiles.iter() {
+        for (s, c) in sum.iter_mut().zip(p.as_vector()) {
+            *s += c;
+        }
+    }
+    let global: Vec<u64> = Motif::all()
+        .zip(sum)
+        .map(|(m, s)| s / hare::fingerprint::attribution_multiplicity(m))
+        .collect();
+    let total = global.iter().sum::<u64>().max(1) as f64;
+    global.iter().map(|&c| c as f64 / total).collect()
 }
 
 fn cosine(a: &[f64], b: &[f64]) -> f64 {
@@ -48,12 +66,22 @@ fn main() {
     println!("computing 36-motif fingerprints (delta = {delta}s) ...");
     let mut names = Vec::new();
     let mut prints = Vec::new();
+    let mut college = None;
     for (name, scale) in picks {
         let spec = hare_datasets::by_name(name).expect("dataset");
         let g = spec.generate(scale);
-        println!("  {name:<14} 1/{scale:<4} {:>8} edges", g.num_edges());
+        let profiles = NodeProfiles::compute(&g, delta, 0);
+        println!(
+            "  {name:<14} 1/{scale:<4} {:>8} edges  {:>6}/{} participating nodes",
+            g.num_edges(),
+            profiles.len(),
+            g.num_nodes()
+        );
         names.push(name);
-        prints.push(fingerprint(&g, delta));
+        prints.push(fingerprint(&profiles));
+        if name == "CollegeMsg" {
+            college = Some(profiles);
+        }
     }
 
     println!("\npairwise cosine similarity of motif fingerprints:");
@@ -82,4 +110,20 @@ fn main() {
         fam(0, 2),
         fam(4, 5)
     );
+
+    // Drill into one graph: which nodes carry the structure? Rank by a
+    // single motif (here M66, the back-and-forth pair burst) and by
+    // z-score anomaly across all 36 dimensions.
+    let profiles = college.expect("CollegeMsg profiled above");
+    let m66 = hare::motif::m(6, 6);
+    println!("\nCollegeMsg per-node drill-down (delta = {delta}s):");
+    println!("  top nodes by {m66}:");
+    for (node, count) in hare::top_k_nodes(&profiles, m66, 5) {
+        println!("    node {node:>5}  {count:>8} instances");
+    }
+    let dist = ProfileDistribution::compute(&profiles);
+    println!("  most anomalous profiles (L2 norm of 36-dim z-score):");
+    for (node, score) in hare::rank_by_zscore(&profiles, &dist, 5) {
+        println!("    node {node:>5}  score {score:>10.2}");
+    }
 }
