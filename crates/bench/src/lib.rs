@@ -25,33 +25,56 @@
 //!
 //! `exp_perf` re-times the workloads covered by the criterion suites and
 //! writes one JSON document (default `BENCH_3.json`; override with
-//! `--out`). Schema `hare-bench/perf/v1`:
+//! `--out`). Schema `hare-bench/perf/v2`:
 //!
 //! ```json
 //! {
-//!   "schema": "hare-bench/perf/v1",
+//!   "schema": "hare-bench/perf/v2",
 //!   "delta": 600,
 //!   "quick": false,
 //!   "benches": [
-//!     { "name": "full_collegemsg_s1/fast/600",
+//!     { "name": "full_collegemsg_s1/fast/600", "threads": 1,
 //!       "mean_s": 0.00102, "min_s": 0.00097,
-//!       "median_s": 0.00101, "samples": 10 }
-//!   ]
+//!       "median_s": 0.00101, "samples": 10, "rss_bytes": 24903680 }
+//!   ],
+//!   "scaling": [
+//!     { "threads": 2, "effective_threads": 1, "min_s": 0.081,
+//!       "median_s": 0.083, "throughput_eps": 2469135.8 }
+//!   ],
+//!   "ooc": {
+//!     "budget_bytes": 800001, "full_lane_bytes": 6400000,
+//!     "peak_resident_lane_bytes": 793728, "chunks": 11,
+//!     "forced_cuts": 0, "min_s": 0.112
+//!   }
 //! }
 //! ```
 //!
-//! * `name` — `<workload>_s<scale>/<algorithm>/<delta>`; the workload is
-//!   a registry dataset (or `toy_fig1`), `s<scale>` its scale divisor.
+//! * `name` — `<workload>_s<scale>/<algorithm>/<delta>` (registry
+//!   dataset, `toy_fig1`, or `synthetic_e<edges>` for the generated
+//!   large-graph workload), `s<scale>` the dataset's scale divisor.
 //! * `mean_s` / `min_s` / `median_s` — per-iteration wall-clock seconds
 //!   over `samples` timed iterations after one untimed warm-up.
+//! * `threads` — the *requested* HARE thread count (1 for sequential
+//!   kernels); `rss_bytes` — process resident set right after the row's
+//!   samples ([`resident_set_bytes`]; `null` off-procfs platforms).
+//! * `scaling` — the HARE thread sweep (`--threads 1,2,4,8`) on the
+//!   synthetic graph. `effective_threads` is what the clamp actually
+//!   granted, and `throughput_eps` (edges/second, from min-of-samples)
+//!   must stay within 10% of the `threads = 1` row — oversubscribed
+//!   configs never regress below sequential (asserted in-binary).
+//! * `ooc` — the out-of-core row: the same synthetic graph written to a
+//!   `HARELG01` lane file and streamed under `budget_bytes`. In-binary
+//!   asserts pin `forced_cuts == 0`, `peak_resident_lane_bytes <=
+//!   budget_bytes`, and bit-identical counts to in-RAM FAST.
 //! * `quick` — `true` when run with `--quick` (CI perf-smoke: 3 samples,
-//!   CollegeMsg at scale 8 only).
+//!   CollegeMsg at scale 8, 40k-edge synthetic; the sweep and the
+//!   out-of-core row still run).
 //!
 //! One snapshot is committed at the repo root per perf-focused PR
 //! (`BENCH_<pr>.json`), so the absolute trajectory of the hot paths is
 //! reviewable over time. The binary also asserts count shapes (Fig. 1
-//! toy M65, HARE/FAST/windowed agreement) so a CI run fails on
-//! correctness regressions too.
+//! toy M65; HARE/FAST/windowed/compressed-lane/out-of-core agreement)
+//! so a CI run fails on correctness regressions too.
 //!
 //! ## Approximate-counting snapshot schema (`exp_approx`)
 //!
@@ -140,6 +163,17 @@ pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
     let start = Instant::now();
     let r = f();
     (r, start.elapsed().as_secs_f64())
+}
+
+/// The process's current resident set size in bytes, read from
+/// `/proc/self/status` (`VmRSS`). Returns `None` on platforms without
+/// procfs — snapshot rows record `null` there rather than guessing.
+#[must_use]
+pub fn resident_set_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 /// Format a count the way Fig. 10 does (`14.3K`, `65.7M`, `1.08B`).

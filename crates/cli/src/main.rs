@@ -39,6 +39,15 @@ OPTIONS:
     --json              machine-readable output
     --stats             print graph statistics only
     --no-timing         omit wall-clock timing for byte-stable output
+    --lanes LAYOUT      timestamp-lane layout: raw | compressed (default
+                        raw). compressed bit-packs per-node timestamp
+                        deltas; counts are bit-identical either way
+    --chunk-budget B    out-of-core exact counting: stream delta-haloed
+                        time chunks through the fused kernel, keeping
+                        the resident lane arenas under B bytes per
+                        chunk. Bit-identical to in-RAM counting. Exact
+                        all-motif mode only (no --only/--window/
+                        --approx/--stats/--nodes)
     --help              this text
 
 APPROXIMATE (interval-sampling) MODE:
@@ -106,6 +115,16 @@ struct Opts {
     nodes: bool,
     top_k: Option<usize>,
     rank_motif: Option<String>,
+    lanes: String,
+    chunk_budget: Option<usize>,
+}
+
+fn parse_lanes(name: &str) -> Result<temporal_graph::LaneLayout, String> {
+    match name {
+        "raw" => Ok(temporal_graph::LaneLayout::Raw),
+        "compressed" => Ok(temporal_graph::LaneLayout::Compressed),
+        other => Err(format!("expected 'raw' or 'compressed', got {other:?}")),
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
@@ -131,6 +150,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         nodes: false,
         top_k: None,
         rank_motif: None,
+        lanes: "raw".into(),
+        chunk_budget: None,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -213,6 +234,14 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 )
             }
             "--rank-motif" => o.rank_motif = Some(value("--rank-motif")?),
+            "--lanes" => o.lanes = value("--lanes")?,
+            "--chunk-budget" => {
+                o.chunk_budget = Some(
+                    value("--chunk-budget")?
+                        .parse()
+                        .map_err(|e| format!("--chunk-budget: {e}"))?,
+                )
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -304,6 +333,22 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         }
     } else if o.top_k.is_some() || o.rank_motif.is_some() {
         return Err("--top-k/--rank-motif require --nodes".into());
+    }
+    if let Err(e) = parse_lanes(&o.lanes) {
+        return Err(format!("--lanes: {e}"));
+    }
+    if o.lanes != "raw" && o.window.is_some() {
+        return Err("--lanes is not supported with --window".into());
+    }
+    if let Some(b) = o.chunk_budget {
+        if b == 0 {
+            return Err("--chunk-budget must be at least 1 byte".into());
+        }
+        if o.window.is_some() || o.approx || o.stats || o.nodes || o.only != "all" {
+            return Err(
+                "--chunk-budget is exclusive with --only/--window/--approx/--stats/--nodes".into(),
+            );
+        }
     }
     Ok(o)
 }
@@ -601,6 +646,8 @@ fn run(o: &Opts) -> Result<(), String> {
             .generate(o.scale),
         _ => unreachable!("validated in parse_args"),
     };
+    let layout = parse_lanes(&o.lanes).expect("validated in parse_args");
+    let graph = graph.into_lane_layout(layout);
 
     let stats = GraphStats::compute(&graph);
     if o.stats {
@@ -630,12 +677,27 @@ fn run(o: &Opts) -> Result<(), String> {
         return run_approx(o, &graph, &stats, delta);
     }
     let start = std::time::Instant::now();
-    let engine = Hare::new(HareConfig {
-        num_threads: o.threads,
-        ..HareConfig::default()
-    });
-    let only = hare::report::parse_only(&o.only).expect("validated in parse_args");
-    let matrix = engine.count_matrix(&graph, delta, only);
+    let matrix = if let Some(budget) = o.chunk_budget {
+        // Out-of-core path: stream delta-haloed chunks under the budget.
+        // Counter addition is commutative, so the matrix (and therefore
+        // the rendered body) is bit-identical to the in-RAM path.
+        let src = hare::InMemorySource::from_graph(&graph);
+        let cfg = hare::OocConfig {
+            delta,
+            budget_bytes: budget,
+            lane_layout: layout,
+        };
+        let (counts, _stats) =
+            hare::count_motifs_ooc(&src, cfg).map_err(|e| format!("out-of-core counting: {e}"))?;
+        counts.matrix
+    } else {
+        let engine = Hare::new(HareConfig {
+            num_threads: o.threads,
+            ..HareConfig::default()
+        });
+        let only = hare::report::parse_only(&o.only).expect("validated in parse_args");
+        engine.count_matrix(&graph, delta, only)
+    };
     let secs = start.elapsed().as_secs_f64();
 
     if o.json {
@@ -794,6 +856,69 @@ mod tests {
             "--input", "x", "--delta", "1", "--window", "5", "--tick", "0"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_lane_and_chunk_budget_flags() {
+        let o = parse_args(&args(&["--input", "x", "--delta", "1"])).unwrap();
+        assert_eq!(o.lanes, "raw");
+        assert_eq!(o.chunk_budget, None);
+        let o = parse_args(&args(&[
+            "--input",
+            "x",
+            "--delta",
+            "1",
+            "--lanes",
+            "compressed",
+            "--chunk-budget",
+            "65536",
+        ]))
+        .unwrap();
+        assert_eq!(o.lanes, "compressed");
+        assert_eq!(o.chunk_budget, Some(65536));
+    }
+
+    #[test]
+    fn rejects_bad_lane_and_chunk_budget_combinations() {
+        // unknown layout name
+        let e =
+            parse_args(&args(&["--input", "x", "--delta", "1", "--lanes", "simd"])).unwrap_err();
+        assert!(e.contains("--lanes"), "{e}");
+        // lanes other than raw with the streaming window
+        assert!(parse_args(&args(&[
+            "--input",
+            "x",
+            "--delta",
+            "1",
+            "--window",
+            "5",
+            "--lanes",
+            "compressed"
+        ]))
+        .is_err());
+        // zero budget
+        let e = parse_args(&args(&[
+            "--input",
+            "x",
+            "--delta",
+            "1",
+            "--chunk-budget",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--chunk-budget"), "{e}");
+        // budget is exclusive with every non-default mode
+        for extra in [
+            ["--only", "pairs"].as_slice(),
+            ["--window", "5"].as_slice(),
+            ["--approx"].as_slice(),
+            ["--stats"].as_slice(),
+            ["--nodes"].as_slice(),
+        ] {
+            let mut v = args(&["--input", "x", "--delta", "1", "--chunk-budget", "4096"]);
+            v.extend(extra.iter().map(|s| (*s).to_string()));
+            assert!(parse_args(&v).is_err(), "expected rejection for {extra:?}");
+        }
     }
 
     #[test]

@@ -229,6 +229,63 @@ fn golden_collegemsg_json_is_byte_identical() {
 }
 
 #[test]
+fn lanes_and_chunk_budget_bodies_are_byte_identical() {
+    // The lane layout and the out-of-core chunk budget are execution
+    // strategies, not semantics: every combination must render the exact
+    // same `--json --no-timing` bytes — pinned against the checked-in
+    // golden files so a drift in either path is caught, not just a
+    // mutual drift.
+    let fig1 = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/fig1.txt");
+    let cases: [(&[&str], &str); 2] = [
+        (
+            &["--input", fig1, "--delta", "10"],
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/tests/golden/fig1_delta10.json"
+            ),
+        ),
+        (
+            &["--dataset", "CollegeMsg", "--scale", "8", "--delta", "600"],
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/tests/golden/collegemsg_scale8_delta600.json"
+            ),
+        ),
+    ];
+    for (base, golden) in cases {
+        let expected = std::fs::read(golden).expect("golden file present");
+        // Budgets from "everything fits in one chunk" down to "a few
+        // hundred edges per chunk" (forcing many delta-haloed chunks).
+        for variant in [
+            ["--lanes", "raw"].as_slice(),
+            &["--lanes", "compressed"],
+            &["--lanes", "raw", "--chunk-budget", "1000000000"],
+            &["--lanes", "raw", "--chunk-budget", "16384"],
+            &["--lanes", "compressed", "--chunk-budget", "16384"],
+        ] {
+            let full: Vec<&str> = base
+                .iter()
+                .copied()
+                .chain(["--json", "--no-timing"])
+                .chain(variant.iter().copied())
+                .collect();
+            let out = hare_count(&full);
+            assert!(
+                out.status.success(),
+                "{variant:?}: {}",
+                String::from_utf8(out.stderr.clone()).unwrap()
+            );
+            assert_eq!(
+                out.stdout,
+                expected,
+                "{golden}: body drifted under {variant:?}:\n got: {}",
+                stdout_of(&out)
+            );
+        }
+    }
+}
+
+#[test]
 fn golden_fig1_nodes_jsonl_is_byte_identical() {
     // Per-node mode: one JSON line per participating node, in ascending
     // node-id order. Node ids here are *interned* by first appearance in

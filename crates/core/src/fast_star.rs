@@ -32,7 +32,7 @@
 
 use crate::counters::{PairCounter, StarCounter};
 use crate::scratch::NeighborScratch;
-use temporal_graph::{NodeId, TemporalGraph, Timestamp};
+use temporal_graph::{NodeId, TemporalGraph, Timestamp, TsLane, TsRead};
 
 /// Count star/pair motifs centered at `u`, restricted to first-edge
 /// positions `first_edge_range` within `S_u` (the full range reproduces
@@ -78,15 +78,41 @@ fn count_node_star_pair_into(
     pair_acc: &mut [u64; 8],
 ) {
     let s = g.node_events(u);
-    let ts = s.ts_lane();
-    let packed = s.packed_lane();
-    debug_assert!(first_edge_range.end <= ts.len());
+    match s.ts_lane() {
+        TsLane::Raw(ts) => star_scan(ts, &s, first_edge_range, delta, scratch, star_acc, pair_acc),
+        TsLane::Packed(p) => star_scan(p, &s, first_edge_range, delta, scratch, star_acc, pair_acc),
+    }
+}
 
+/// The scan body, generic over the timestamp lane representation so the
+/// raw path monomorphises to slice indexing. The δ-window end `j_end` is
+/// maintained by a monotone two-pointer advance (`t_1 + δ` never
+/// decreases with `i`), so the inner loop runs with a hoisted bound.
+fn star_scan<T: TsRead>(
+    ts: T,
+    s: &temporal_graph::NodeEvents<'_>,
+    first_edge_range: std::ops::Range<usize>,
+    delta: Timestamp,
+    scratch: &mut NeighborScratch,
+    star_acc: &mut [u64; 24],
+    pair_acc: &mut [u64; 8],
+) {
+    let packed = s.packed_lane();
+    let n_events = ts.len();
+    debug_assert!(first_edge_range.end <= n_events);
+
+    let mut j_end = first_edge_range.start;
     for i in first_edge_range {
-        let t1 = ts[i];
+        let t1 = ts.at(i);
         let t_hi = t1.saturating_add(delta);
+        if j_end <= i {
+            j_end = i + 1;
+        }
+        while j_end < n_events && ts.at(j_end) <= t_hi {
+            j_end += 1;
+        }
         // Empty δ-window: nothing can complete — skip all setup.
-        if i + 1 >= ts.len() || ts[i + 1] > t_hi {
+        if i + 1 >= j_end {
             continue;
         }
         let p1 = packed[i];
@@ -103,11 +129,7 @@ fn count_node_star_pair_into(
         // whole window, so events to v never touch the scratch array.
         let mut cv = [0u64; 2];
 
-        for j in i + 1..ts.len() {
-            if ts[j] > t_hi {
-                break;
-            }
-            let p3 = packed[j];
+        for &p3 in &packed[i + 1..j_end] {
             let w = p3 >> 1;
             let d3 = (p3 & 1) as usize;
             let base = b1 | d3; // d1·4 + d3; d2 contributes ·2

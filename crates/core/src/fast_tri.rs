@@ -27,7 +27,7 @@
 //! hare-lint: no-alloc
 
 use crate::counters::TriCounter;
-use temporal_graph::{NodeId, TemporalGraph, Timestamp};
+use temporal_graph::{NodeId, TemporalGraph, Timestamp, TsLane, TsRead};
 
 /// Count triangle motifs centered at `u`, restricted to first-edge
 /// positions `first_edge_range` within `S_u` (full range = Algorithm 2;
@@ -60,18 +60,43 @@ fn count_node_tri_into(
     tri_acc: &mut [u64; 24],
 ) {
     let s = g.node_events(u);
-    let ts = s.ts_lane();
+    match s.ts_lane() {
+        TsLane::Raw(ts) => tri_scan(g, &s, ts, first_edge_range, delta, tri_acc),
+        TsLane::Packed(p) => tri_scan(g, &s, p, first_edge_range, delta, tri_acc),
+    }
+}
+
+/// The scan body, generic over the timestamp lane representation. The
+/// δ-window end `j_end` is maintained by a monotone two-pointer advance
+/// (`t_i + δ` never decreases with `i`), so the inner loop runs with a
+/// hoisted bound.
+fn tri_scan<T: TsRead>(
+    g: &TemporalGraph,
+    s: &temporal_graph::NodeEvents<'_>,
+    ts: T,
+    first_edge_range: std::ops::Range<usize>,
+    delta: Timestamp,
+    tri_acc: &mut [u64; 24],
+) {
     let packed = s.packed_lane();
     let eids = s.edge_lane();
     let pairs = g.pairs();
-    debug_assert!(first_edge_range.end <= ts.len());
+    let n_events = ts.len();
+    debug_assert!(first_edge_range.end <= n_events);
 
+    let mut j_end = first_edge_range.start;
     for i in first_edge_range {
-        let t_i = ts[i];
+        let t_i = ts.at(i);
         // Window upper bound: Triangle-III needs t_k − t_i ≤ δ.
         let t_hi = t_i.saturating_add(delta);
+        if j_end <= i {
+            j_end = i + 1;
+        }
+        while j_end < n_events && ts.at(j_end) <= t_hi {
+            j_end += 1;
+        }
         // Empty δ-window: nothing can complete — skip all setup.
-        if i + 1 >= ts.len() || ts[i + 1] > t_hi {
+        if i + 1 >= j_end {
             continue;
         }
         let p_i = packed[i];
@@ -87,10 +112,7 @@ fn count_node_tri_into(
         // endpoint in runs, making consecutive probes of E(v, w) free.
         let mut memo_w = u32::MAX;
         let mut memo_evs: &[temporal_graph::PairEvent] = &[];
-        for j in i + 1..ts.len() {
-            if ts[j] > t_hi {
-                break;
-            }
+        for j in i + 1..j_end {
             let p_j = packed[j];
             let w = p_j >> 1;
             if w == v || !temporal_graph::PairIndex::bloom_may_connect(bloom_v, w) {
@@ -108,7 +130,7 @@ fn count_node_tri_into(
             let base = bi | (((p_j & 1) as usize) << 1); // di·4 + dj·2
             let ej_id = eids[j];
             // Window lower bound: Triangle-I needs t_j − t_k ≤ δ.
-            let t_lo = ts[j].saturating_sub(delta);
+            let t_lo = ts.at(j).saturating_sub(delta);
             let start = evs.partition_point(|p| p.t < t_lo);
             for p in &evs[start..] {
                 if p.t > t_hi {

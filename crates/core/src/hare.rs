@@ -31,7 +31,14 @@
 //!   results);
 //! * full 36-motif tasks run the **fused** star+pair+triangle kernel
 //!   ([`crate::fused::count_node_all_range`]) — one window scan per node
-//!   instead of two.
+//!   instead of two;
+//! * requested thread counts are **clamped to the machine's available
+//!   parallelism** (oversubscribing cores only adds scheduling overhead),
+//!   and graphs below [`SEQ_FALLBACK_EVENTS`] total events skip the
+//!   thread pool entirely and run the sequential kernels — on small
+//!   inputs pool construction and task hand-off used to make `HARE/k`
+//!   slower than `HARE/1`. Both adaptations only change *scheduling*;
+//!   counters stay bit-identical to every other configuration.
 
 use rayon::prelude::*;
 
@@ -42,6 +49,13 @@ use crate::fast_tri::count_node_tri_range;
 use crate::fused::count_node_all_range;
 use crate::scratch::with_thread_scratch as with_scratch;
 use temporal_graph::{stats, NodeId, TemporalGraph, Timestamp};
+
+/// Below this many events (`2|E|`) a graph runs sequentially regardless
+/// of the configured thread count: the fixed cost of building a thread
+/// pool and stealing tasks exceeds the whole counting run, which made
+/// multi-threaded HARE *slower* than single-threaded on small graphs.
+/// The counters are unaffected — only the schedule changes.
+pub const SEQ_FALLBACK_EVENTS: usize = 1 << 15;
 
 /// How HARE decides which nodes get intra-node parallel treatment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,17 +145,30 @@ impl Hare {
 
     fn pool(&self) -> rayon::ThreadPool {
         rayon::ThreadPoolBuilder::new()
-            .num_threads(self.cfg.num_threads)
+            .num_threads(self.effective_threads())
             .build()
             .expect("failed to build rayon thread pool")
     }
 
-    fn effective_threads(&self) -> usize {
+    /// Worker threads a run will actually use: the configured count
+    /// clamped to the machine's available parallelism (`0` = all cores).
+    /// Oversubscription cannot help a CPU-bound kernel, and the clamp
+    /// keeps `HARE/k` on one shared code path for every `k` on a given
+    /// machine.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
         if self.cfg.num_threads > 0 {
-            self.cfg.num_threads
+            self.cfg.num_threads.min(avail)
         } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            avail
         }
+    }
+
+    /// `true` when a graph is small enough that the sequential fallback
+    /// (no pool, no task splitting) is the better schedule.
+    fn run_sequential(&self, g: &TemporalGraph) -> bool {
+        self.effective_threads() <= 1 || 2 * g.num_edges() < SEQ_FALLBACK_EVENTS
     }
 
     /// Resolve the degree threshold for a concrete graph. Returns
@@ -265,6 +292,13 @@ impl Hare {
     #[must_use]
     pub fn count_pair(&self, g: &TemporalGraph, delta: Timestamp) -> PairCounter {
         let pairs = g.pairs();
+        if self.run_sequential(g) {
+            let mut pc = PairCounter::default();
+            for slot in 0..pairs.num_pairs() {
+                count_pair_events(pairs.events_of_slot(slot), delta, &mut pc);
+            }
+            return pc;
+        }
         let slots: Vec<usize> = (0..pairs.num_pairs()).collect();
         if slots.is_empty() {
             return PairCounter::default();
@@ -309,6 +343,17 @@ impl Hare {
         let by_degree_desc = |&u: &NodeId| (std::cmp::Reverse(g.degree(u)), u);
         light.sort_unstable_by_key(by_degree_desc);
         heavy.sort_unstable_by_key(by_degree_desc);
+
+        // Adaptive fallback: below the work threshold the pool costs
+        // more than the count. Same kernels, same per-node full ranges —
+        // counter addition commutes, so the fold is bit-identical.
+        if self.run_sequential(g) {
+            let mut acc = Partial::new(work);
+            for &u in light.iter().chain(heavy.iter()) {
+                acc.count_node(g, u, 0..g.node_events(u).len(), delta);
+            }
+            return (acc.star, acc.pair, acc.tri);
+        }
 
         let pool = self.pool();
         pool.install(|| {
@@ -555,6 +600,44 @@ mod tests {
         let exact_cfg = crate::sample::SampleConfig { prob: 1.0, ..cfg };
         let exact = engine.estimate_all(&g, delta, &exact_cfg);
         assert_eq!(exact.as_exact(), Some(engine.count_all(&g, delta).matrix));
+    }
+
+    /// Pinned: HARE/k is bit-identical to sequential FAST at every k,
+    /// on both sides of the sequential-fallback threshold (the small
+    /// graph takes the fallback, the large one the pool path).
+    #[test]
+    fn hare_k_equals_fast_at_every_k() {
+        let small = erdos_renyi_temporal(40, 900, 700, 17);
+        assert!(2 * small.num_edges() < SEQ_FALLBACK_EVENTS);
+        let large = GenConfig {
+            nodes: 400,
+            edges: 20_000,
+            time_span: 40_000,
+            zipf_exponent: 1.1,
+            seed: 23,
+            ..GenConfig::default()
+        }
+        .generate();
+        assert!(2 * large.num_edges() >= SEQ_FALLBACK_EVENTS);
+        for (g, delta) in [(&small, 90), (&large, 400)] {
+            let seq = crate::count_motifs(g, delta);
+            for k in [1, 2, 4, 8] {
+                let engine = Hare::with_threads(k);
+                assert!(engine.effective_threads() >= 1);
+                let par = engine.count_all(g, delta);
+                assert_eq!(par.matrix, seq.matrix, "k={k}");
+                assert_eq!(par.star, seq.star, "k={k}");
+                assert_eq!(par.tri, seq.tri, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_threads_is_clamped_to_available_parallelism() {
+        let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(Hare::with_threads(1).effective_threads(), 1);
+        assert_eq!(Hare::with_threads(usize::MAX).effective_threads(), avail);
+        assert_eq!(Hare::with_threads(0).effective_threads(), avail);
     }
 
     #[test]

@@ -30,6 +30,10 @@
 //!   sampling: windows of the time axis are kept with probability `p`,
 //!   counted exactly with the fused kernel, and rescaled into unbiased
 //!   per-motif estimates with confidence intervals.
+//! * [`ooc`] — out-of-core exact counting: δ-haloed time chunks of an
+//!   [`ooc::EdgeSource`] (in-RAM slice or `HARELG01` lane file) are
+//!   streamed through the fused kernel under a resident lane-byte
+//!   budget, bit-identical to the in-RAM drivers.
 //! * [`report`] — the canonical JSON wire schema, built in one place so
 //!   `hare-count --json` and the `hare-serve` HTTP service emit
 //!   byte-identical bodies for the same query.
@@ -69,6 +73,7 @@ pub mod fingerprint;
 pub mod fused;
 pub mod hare;
 pub mod motif;
+pub mod ooc;
 pub mod report;
 pub mod sample;
 pub mod scratch;
@@ -83,6 +88,10 @@ pub use fingerprint::{
 };
 pub use hare::{DegreeThreshold, Hare, HareConfig, Scheduling};
 pub use motif::{Motif, MotifCategory, StarType, TriType};
+pub use ooc::{
+    count_motifs_ooc, node_profiles_ooc, EdgeSource, InMemorySource, LaneFileSource, OocConfig,
+    OocStats,
+};
 pub use sample::{MotifEstimate, SampleConfig, SampledCounter, SampledCounts};
 pub use scratch::NeighborScratch;
 pub use windowed::WindowedCounter;

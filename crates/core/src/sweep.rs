@@ -76,18 +76,18 @@ pub fn count_motifs_sweep(
 
         // FAST-Star sweep: bucket each (e1, e3) contribution group.
         for i in 0..ts.len() {
-            let t1 = ts[i];
+            let t1 = ts.get(i);
             let v = packed[i] >> 1;
             let d1 = Dir::from_index((packed[i] & 1) as usize);
             scratch.reset();
             let mut n = [0u64; 2];
-            for j in i + 1..ts.len() {
-                let span = ts[j] - t1;
+            for (j, &pj) in packed.iter().enumerate().skip(i + 1) {
+                let span = ts.get(j) - t1;
                 if span > max_delta {
                     break;
                 }
-                let w = packed[j] >> 1;
-                let d3 = Dir::from_index((packed[j] & 1) as usize);
+                let w = pj >> 1;
+                let d3 = Dir::from_index((pj & 1) as usize);
                 if let Some(k) = buckets.bucket(span) {
                     if w == v {
                         let cnt = scratch.get(v);
@@ -113,12 +113,12 @@ pub fn count_motifs_sweep(
         // FAST-Tri sweep: bucket each opposite-edge increment by the
         // span of the instance it completes.
         for i in 0..ts.len() {
-            let t_i = ts[i];
+            let t_i = ts.get(i);
             let v = packed[i] >> 1;
             let di = Dir::from_index((packed[i] & 1) as usize);
             let ei_key = (t_i, eids[i]);
             for j in i + 1..ts.len() {
-                let t_j = ts[j];
+                let t_j = ts.get(j);
                 if t_j - t_i > max_delta {
                     break;
                 }

@@ -23,12 +23,13 @@ use std::path::{Path, PathBuf};
 use rules::{Finding, ScopeSet};
 
 /// Counting/estimation modules bound by the determinism (D) rules.
-const DETERMINISM_SCOPE: [&str; 5] = [
+const DETERMINISM_SCOPE: [&str; 6] = [
     "crates/core/src/fused.rs",
     "crates/core/src/hare.rs",
     "crates/core/src/sample.rs",
     "crates/core/src/windowed.rs",
     "crates/core/src/streaming.rs",
+    "crates/core/src/ooc.rs",
 ];
 
 /// `hare-serve` request-path modules bound by the panic-safety (P)
@@ -108,7 +109,9 @@ mod tests {
     #[test]
     fn scopes_follow_paths() {
         assert!(scopes_for("crates/core/src/fused.rs").determinism);
+        assert!(scopes_for("crates/core/src/ooc.rs").determinism);
         assert!(scopes_for("crates/temporal-graph/src/graph.rs").determinism);
+        assert!(scopes_for("crates/temporal-graph/src/ooc.rs").determinism);
         assert!(!scopes_for("crates/core/src/lib.rs").determinism);
         assert!(scopes_for("crates/serve/src/api.rs").panic_safety);
         assert!(scopes_for("crates/serve/src/nodes.rs").panic_safety);

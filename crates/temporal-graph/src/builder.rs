@@ -1,6 +1,7 @@
 //! Validating construction of [`TemporalGraph`]s.
 
 use crate::graph::TemporalGraph;
+use crate::lanes::LaneLayout;
 use crate::types::{NodeId, TemporalEdge, Timestamp};
 use crate::util::FxHashMap;
 
@@ -30,6 +31,8 @@ pub struct GraphBuilder {
     edges: Vec<TemporalEdge>,
     dropped_self_loops: usize,
     compact: bool,
+    layout: LaneLayout,
+    threads: usize,
 }
 
 impl GraphBuilder {
@@ -54,6 +57,27 @@ impl GraphBuilder {
     #[must_use]
     pub fn compact_ids(mut self, yes: bool) -> GraphBuilder {
         self.compact = yes;
+        self
+    }
+
+    /// Timestamp-lane layout of the built graph (see [`LaneLayout`]).
+    /// Default [`LaneLayout::Raw`]; [`LaneLayout::Compressed`] trades a
+    /// small decode cost for a much smaller resident timestamp lane.
+    /// Counts are bit-identical either way.
+    #[must_use]
+    pub fn lane_layout(mut self, layout: LaneLayout) -> GraphBuilder {
+        self.layout = layout;
+        self
+    }
+
+    /// Build the event lanes with up to `threads` worker threads
+    /// (per-shard lane fills over disjoint node ranges, merged in node
+    /// order). `0` or `1` builds sequentially. The result is
+    /// bit-identical to the sequential build; the chronological sort
+    /// itself stays sequential (it is stable and allocation-bound).
+    #[must_use]
+    pub fn build_threads(mut self, threads: usize) -> GraphBuilder {
+        self.threads = threads;
         self
     }
 
@@ -100,7 +124,11 @@ impl GraphBuilder {
     #[must_use]
     pub fn build(self) -> TemporalGraph {
         let GraphBuilder {
-            mut edges, compact, ..
+            mut edges,
+            compact,
+            layout,
+            threads,
+            ..
         } = self;
 
         if compact {
@@ -121,7 +149,8 @@ impl GraphBuilder {
             .max()
             .unwrap_or(0);
 
-        TemporalGraph::from_sorted_edges(num_nodes, edges)
+        TemporalGraph::from_sorted_edges_with_threads(num_nodes, edges, threads.max(1))
+            .into_lane_layout(layout)
     }
 }
 
@@ -196,5 +225,32 @@ mod tests {
         let g = GraphBuilder::new().build();
         assert_eq!(g.num_nodes(), 0);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn lane_layout_and_threads_do_not_change_content() {
+        let edges: Vec<TemporalEdge> = (0..300)
+            .map(|i| TemporalEdge::new(i % 17, (i * 5 + 2) % 17, (i as i64 * 11) % 200))
+            .collect();
+        let base = {
+            let mut b = GraphBuilder::new();
+            b.extend(edges.clone());
+            b.build()
+        };
+        for layout in [LaneLayout::Raw, LaneLayout::Compressed] {
+            for threads in [1, 4] {
+                let mut b = GraphBuilder::new()
+                    .lane_layout(layout)
+                    .build_threads(threads);
+                b.extend(edges.clone());
+                let g = b.build();
+                assert_eq!(g.lane_layout(), layout);
+                assert_eq!(
+                    g.fingerprint(),
+                    base.fingerprint(),
+                    "layout={layout} threads={threads}"
+                );
+            }
+        }
     }
 }

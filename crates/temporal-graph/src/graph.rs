@@ -17,9 +17,13 @@
 //! The event arena is stored as three parallel lanes indexed by global
 //! event position (`node_offsets[u]..node_offsets[u + 1]` is `S_u`):
 //!
-//! * `ev_ts: Box<[i64]>` — the timestamp lane. The δ-window scan and the
+//! * `ev_ts` — the timestamp lane. The δ-window scan and the
 //!   window binary search touch **only** this lane, so a scan streams
-//!   8 bytes per event instead of a 24-byte [`Event`] struct.
+//!   8 bytes per event instead of a 24-byte [`Event`] struct. This lane
+//!   has two selectable layouts ([`LaneLayout`]): raw `Box<[i64]>` and
+//!   delta-from-anchor bit-packed ([`crate::lanes::PackedTs`]); kernels
+//!   consume it through [`crate::lanes::TsLane`], which decodes on the
+//!   fly with O(1) random access either way.
 //! * `ev_packed: Box<[u32]>` — the topology lane, encoding
 //!   `other << 1 | dir` (`dir`: [`Dir::Out`] = 0, [`Dir::In`] = 1). One
 //!   4-byte load yields both the far endpoint and the direction; the
@@ -35,6 +39,7 @@
 //! of one node together; [`Event`] is the materialised
 //! array-of-structs form for call sites that are not hot.
 
+use crate::lanes::{LaneLayout, PackedTs, TsLane};
 use crate::types::{Dir, EdgeId, NodeId, TemporalEdge, Timestamp};
 use crate::util::FxHashMap;
 
@@ -65,7 +70,7 @@ pub struct Event {
 /// accessors or iterate materialised [`Event`]s.
 #[derive(Debug, Clone, Copy)]
 pub struct NodeEvents<'a> {
-    ts: &'a [Timestamp],
+    ts: TsLane<'a>,
     packed: &'a [u32],
     edges: &'a [EdgeId],
 }
@@ -75,14 +80,14 @@ impl<'a> NodeEvents<'a> {
     #[inline]
     #[must_use]
     pub fn len(&self) -> usize {
-        self.ts.len()
+        self.packed.len()
     }
 
     /// `true` if the node has no incident edges.
     #[inline]
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.ts.is_empty()
+        self.packed.is_empty()
     }
 
     /// Materialise the `i`-th event.
@@ -90,7 +95,7 @@ impl<'a> NodeEvents<'a> {
     #[must_use]
     pub fn get(&self, i: usize) -> Event {
         Event {
-            t: self.ts[i],
+            t: self.ts.get(i),
             other: self.packed[i] >> 1,
             edge: self.edges[i],
             dir: dir_of(self.packed[i]),
@@ -101,7 +106,7 @@ impl<'a> NodeEvents<'a> {
     #[inline]
     #[must_use]
     pub fn t(&self, i: usize) -> Timestamp {
-        self.ts[i]
+        self.ts.get(i)
     }
 
     /// Far endpoint of the `i`-th event.
@@ -133,9 +138,11 @@ impl<'a> NodeEvents<'a> {
     }
 
     /// The timestamp lane (δ-window scans binary-search / stream this).
+    /// Match on the returned [`TsLane`] once per node and stay
+    /// monomorphised over [`crate::lanes::TsRead`] in hot loops.
     #[inline]
     #[must_use]
-    pub fn ts_lane(&self) -> &'a [Timestamp] {
+    pub fn ts_lane(&self) -> TsLane<'a> {
         self.ts
     }
 
@@ -161,7 +168,7 @@ impl<'a> NodeEvents<'a> {
     #[must_use]
     pub fn slice(&self, range: std::ops::Range<usize>) -> NodeEvents<'a> {
         NodeEvents {
-            ts: &self.ts[range.clone()],
+            ts: self.ts.slice(range.clone()),
             packed: &self.packed[range.clone()],
             edges: &self.edges[range],
         }
@@ -407,6 +414,40 @@ impl PairIndex {
     }
 }
 
+/// Timestamp-lane storage: raw slice or per-run bit-packed deltas. The
+/// other two lanes are cheap (4 bytes/event each) and stay raw in both
+/// layouts.
+#[derive(Debug, Clone)]
+enum TsStore {
+    Raw(Box<[Timestamp]>),
+    Packed(PackedTs),
+}
+
+impl TsStore {
+    /// The lane view of node `u`'s run `node_offsets[u]..node_offsets[u+1]`.
+    #[inline]
+    fn lane(&self, u: usize, lo: usize, hi: usize) -> TsLane<'_> {
+        match self {
+            TsStore::Raw(ts) => TsLane::Raw(&ts[lo..hi]),
+            TsStore::Packed(p) => TsLane::Packed(p.run(u, hi - lo)),
+        }
+    }
+
+    fn layout(&self) -> LaneLayout {
+        match self {
+            TsStore::Raw(_) => LaneLayout::Raw,
+            TsStore::Packed(_) => LaneLayout::Compressed,
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            TsStore::Raw(ts) => ts.len() * std::mem::size_of::<Timestamp>(),
+            TsStore::Packed(p) => p.heap_bytes(),
+        }
+    }
+}
+
 /// An immutable temporal graph, optimised for motif counting.
 ///
 /// Construct with [`crate::GraphBuilder`] (or the
@@ -418,7 +459,7 @@ pub struct TemporalGraph {
     edges: Box<[TemporalEdge]>,
     node_offsets: Box<[usize]>,
     // SoA event arena — see the module docs for the lane layout.
-    ev_ts: Box<[Timestamp]>,
+    ev_ts: TsStore,
     ev_packed: Box<[u32]>,
     ev_edge: Box<[EdgeId]>,
     pairs: PairIndex,
@@ -438,6 +479,19 @@ impl TemporalGraph {
     /// `(t, original position)` and free of self-loops, and every endpoint
     /// must be `< num_nodes`.
     pub(crate) fn from_sorted_edges(num_nodes: usize, edges: Vec<TemporalEdge>) -> TemporalGraph {
+        TemporalGraph::from_sorted_edges_with_threads(num_nodes, edges, 1)
+    }
+
+    /// Like [`TemporalGraph::from_sorted_edges`], building the event
+    /// lanes with up to `threads` worker threads (per-shard lane fills
+    /// over disjoint node ranges, merged in node order — each event slot
+    /// is computed from the same edge either way, so the result is
+    /// bit-identical to the sequential build).
+    pub(crate) fn from_sorted_edges_with_threads(
+        num_nodes: usize,
+        edges: Vec<TemporalEdge>,
+        threads: usize,
+    ) -> TemporalGraph {
         assert!(
             edges.len() <= u32::MAX as usize,
             "edge count exceeds u32 id space"
@@ -464,19 +518,30 @@ impl TemporalGraph {
         let mut ev_ts = vec![0 as Timestamp; n_events];
         let mut ev_packed = vec![0u32; n_events];
         let mut ev_edge = vec![0 as EdgeId; n_events];
-        let mut cursors = counts;
-        for (id, e) in edges.iter().enumerate() {
-            let id = id as EdgeId;
-            let s = &mut cursors[e.src as usize];
-            ev_ts[*s] = e.t;
-            ev_packed[*s] = (e.dst << 1) | Dir::Out as u32;
-            ev_edge[*s] = id;
-            *s += 1;
-            let d = &mut cursors[e.dst as usize];
-            ev_ts[*d] = e.t;
-            ev_packed[*d] = (e.src << 1) | Dir::In as u32;
-            ev_edge[*d] = id;
-            *d += 1;
+        if threads > 1 && num_nodes > 1 {
+            fill_lanes_parallel(
+                &edges,
+                &node_offsets,
+                threads,
+                &mut ev_ts,
+                &mut ev_packed,
+                &mut ev_edge,
+            );
+        } else {
+            let mut cursors = counts;
+            for (id, e) in edges.iter().enumerate() {
+                let id = id as EdgeId;
+                let s = &mut cursors[e.src as usize];
+                ev_ts[*s] = e.t;
+                ev_packed[*s] = (e.dst << 1) | Dir::Out as u32;
+                ev_edge[*s] = id;
+                *s += 1;
+                let d = &mut cursors[e.dst as usize];
+                ev_ts[*d] = e.t;
+                ev_packed[*d] = (e.src << 1) | Dir::In as u32;
+                ev_edge[*d] = id;
+                *d += 1;
+            }
         }
 
         let pairs = PairIndex::build(num_nodes, &edges);
@@ -485,11 +550,38 @@ impl TemporalGraph {
             num_nodes,
             edges: edges.into_boxed_slice(),
             node_offsets,
-            ev_ts: ev_ts.into_boxed_slice(),
+            ev_ts: TsStore::Raw(ev_ts.into_boxed_slice()),
             ev_packed: ev_packed.into_boxed_slice(),
             ev_edge: ev_edge.into_boxed_slice(),
             pairs,
         }
+    }
+
+    /// Build directly from an already-chronological edge list with an
+    /// explicit node-id space (so sub-graphs keep global node ids even
+    /// when high-id nodes have no edges in the slice). This is the
+    /// entry point the out-of-core chunk driver uses: a chunk cut from a
+    /// sorted edge stream is itself sorted, and re-sorting (or
+    /// re-deriving `num_nodes` from the slice) would break the
+    /// order-isomorphism between chunk-local and global edge ids.
+    ///
+    /// # Panics
+    /// Panics if `edges` is not sorted by timestamp, contains a
+    /// self-loop, or references a node `>= num_nodes`.
+    #[must_use]
+    pub fn from_chronological_edges(num_nodes: usize, edges: Vec<TemporalEdge>) -> TemporalGraph {
+        assert!(
+            edges.windows(2).all(|w| w[0].t <= w[1].t),
+            "edges must be sorted by timestamp"
+        );
+        for e in &edges {
+            assert!(!e.is_self_loop(), "self-loop {e} not allowed");
+            assert!(
+                (e.src as usize) < num_nodes && (e.dst as usize) < num_nodes,
+                "edge {e} references a node >= num_nodes ({num_nodes})"
+            );
+        }
+        TemporalGraph::from_sorted_edges(num_nodes, edges)
     }
 
     /// Number of nodes (`|V|`).
@@ -528,10 +620,54 @@ impl TemporalGraph {
         let lo = self.node_offsets[u as usize];
         let hi = self.node_offsets[u as usize + 1];
         NodeEvents {
-            ts: &self.ev_ts[lo..hi],
+            ts: self.ev_ts.lane(u as usize, lo, hi),
             packed: &self.ev_packed[lo..hi],
             edges: &self.ev_edge[lo..hi],
         }
+    }
+
+    /// The storage layout of the timestamp lane.
+    #[inline]
+    #[must_use]
+    pub fn lane_layout(&self) -> LaneLayout {
+        self.ev_ts.layout()
+    }
+
+    /// Re-encode the timestamp lane into `layout`. Queries and counts
+    /// are bit-identical across layouts (differentially tested); only
+    /// the resident footprint and decode cost change. A no-op when the
+    /// graph already uses `layout`.
+    #[must_use]
+    pub fn into_lane_layout(mut self, layout: LaneLayout) -> TemporalGraph {
+        self.ev_ts = match (self.ev_ts, layout) {
+            (TsStore::Raw(ts), LaneLayout::Compressed) => {
+                TsStore::Packed(PackedTs::encode(&self.node_offsets, &ts))
+            }
+            (TsStore::Packed(p), LaneLayout::Raw) => {
+                let mut ts = vec![0 as Timestamp; self.ev_packed.len()];
+                for u in 0..self.num_nodes {
+                    let (lo, hi) = (self.node_offsets[u], self.node_offsets[u + 1]);
+                    let lane = TsLane::Packed(p.run(u, hi - lo));
+                    for (i, slot) in ts[lo..hi].iter_mut().enumerate() {
+                        *slot = lane.get(i);
+                    }
+                }
+                TsStore::Raw(ts.into_boxed_slice())
+            }
+            (store, _) => store,
+        };
+        self
+    }
+
+    /// Heap bytes held by the three event lanes (timestamp store +
+    /// packed topology + edge ids). This is the quantity the out-of-core
+    /// chunk budget bounds; the edge list and pair index are accounted
+    /// separately.
+    #[must_use]
+    pub fn resident_lane_bytes(&self) -> usize {
+        self.ev_ts.heap_bytes()
+            + self.ev_packed.len() * std::mem::size_of::<u32>()
+            + self.ev_edge.len() * std::mem::size_of::<EdgeId>()
     }
 
     /// Total degree of `u` (in-degree + out-degree, counting multi-edges) —
@@ -608,11 +744,91 @@ impl TemporalGraph {
         for &off in self.node_offsets.iter() {
             h = mix(h, off as u64);
         }
-        for (&t, &p) in self.ev_ts.iter().zip(self.ev_packed.iter()) {
-            h = mix(mix(h, t as u64), u64::from(p));
+        // Walk the lanes per node run (their concatenation is the global
+        // event order), decoding timestamps through the lane view so the
+        // fingerprint is a function of content, not of [`LaneLayout`].
+        for u in 0..self.num_nodes {
+            let (lo, hi) = (self.node_offsets[u], self.node_offsets[u + 1]);
+            let ts = self.ev_ts.lane(u, lo, hi);
+            for (i, &p) in self.ev_packed[lo..hi].iter().enumerate() {
+                h = mix(mix(h, ts.get(i) as u64), u64::from(p));
+            }
         }
         h
     }
+}
+
+/// Parallel lane fill: shard the node-id space into contiguous ranges of
+/// roughly equal event mass, then let one thread per shard scan the full
+/// edge list (read-only) and write only its own disjoint arena region.
+/// Every event slot receives exactly the value the sequential fill would
+/// write (the slot position depends only on `node_offsets` and the
+/// edge's rank among its node's events, both of which are fixed before
+/// the fill), so the build is bit-identical to sequential.
+fn fill_lanes_parallel(
+    edges: &[TemporalEdge],
+    node_offsets: &[usize],
+    threads: usize,
+    ev_ts: &mut [Timestamp],
+    ev_packed: &mut [u32],
+    ev_edge: &mut [EdgeId],
+) {
+    let num_nodes = node_offsets.len() - 1;
+    let n_events = ev_ts.len();
+    // Shard boundaries on node ids, balanced by event count.
+    let shards = threads.min(num_nodes).max(1);
+    let mut bounds = Vec::with_capacity(shards + 1);
+    bounds.push(0usize);
+    for s in 1..shards {
+        let target = n_events * s / shards;
+        let cut = node_offsets.partition_point(|&off| off < target);
+        let cut = cut.clamp(*bounds.last().expect("non-empty"), num_nodes);
+        bounds.push(cut);
+    }
+    bounds.push(num_nodes);
+
+    std::thread::scope(|scope| {
+        let mut ts_rest = ev_ts;
+        let mut packed_rest = ev_packed;
+        let mut edge_rest = ev_edge;
+        for w in bounds.windows(2) {
+            let (n0, n1) = (w[0], w[1]);
+            let shard_events = node_offsets[n1] - node_offsets[n0];
+            let (ts_own, ts_next) = ts_rest.split_at_mut(shard_events);
+            let (packed_own, packed_next) = packed_rest.split_at_mut(shard_events);
+            let (edge_own, edge_next) = edge_rest.split_at_mut(shard_events);
+            ts_rest = ts_next;
+            packed_rest = packed_next;
+            edge_rest = edge_next;
+            if n0 == n1 {
+                continue;
+            }
+            scope.spawn(move || {
+                let base = node_offsets[n0];
+                // Cursors relative to this shard's arena region.
+                let mut cursors: Vec<usize> =
+                    node_offsets[n0..n1].iter().map(|&off| off - base).collect();
+                let node_range = (n0 as NodeId)..(n1 as NodeId);
+                for (id, e) in edges.iter().enumerate() {
+                    let id = id as EdgeId;
+                    if node_range.contains(&e.src) {
+                        let s = &mut cursors[(e.src as usize) - n0];
+                        ts_own[*s] = e.t;
+                        packed_own[*s] = (e.dst << 1) | Dir::Out as u32;
+                        edge_own[*s] = id;
+                        *s += 1;
+                    }
+                    if node_range.contains(&e.dst) {
+                        let d = &mut cursors[(e.dst as usize) - n0];
+                        ts_own[*d] = e.t;
+                        packed_own[*d] = (e.src << 1) | Dir::In as u32;
+                        edge_own[*d] = id;
+                        *d += 1;
+                    }
+                }
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -689,10 +905,7 @@ mod tests {
         let g = toy();
         for u in g.node_ids() {
             let s = g.node_events(u);
-            assert!(
-                s.ts_lane().windows(2).all(|w| w[0] <= w[1]),
-                "S_{u} unsorted"
-            );
+            assert!((1..s.len()).all(|i| s.t(i - 1) <= s.t(i)), "S_{u} unsorted");
             assert!(s.edge_lane().windows(2).all(|w| w[0] < w[1]));
         }
     }
@@ -850,6 +1063,103 @@ mod tests {
             TemporalGraph::from_edges(vec![]).fingerprint(),
             TemporalGraph::from_edges(vec![]).fingerprint()
         );
+    }
+
+    #[test]
+    fn compressed_layout_is_bit_identical_to_raw() {
+        let g = toy();
+        let c = g.clone().into_lane_layout(LaneLayout::Compressed);
+        assert_eq!(g.lane_layout(), LaneLayout::Raw);
+        assert_eq!(c.lane_layout(), LaneLayout::Compressed);
+        // Every event accessor agrees, including sliced views.
+        for u in g.node_ids() {
+            let (a, b) = (g.node_events(u), c.node_events(u));
+            assert_eq!(a.len(), b.len());
+            assert!(b.ts_lane().as_raw().is_none() || b.is_empty());
+            for i in 0..a.len() {
+                assert_eq!(a.get(i), b.get(i), "node {u} event {i}");
+            }
+            if a.len() >= 2 {
+                let (sa, sb) = (a.slice(1..a.len()), b.slice(1..b.len()));
+                assert_eq!(sa.get(0), sb.get(0));
+            }
+            for cut in [0, 7, 15, 30] {
+                assert_eq!(
+                    a.partition_point(|e| e.t < cut),
+                    b.partition_point(|e| e.t < cut)
+                );
+            }
+        }
+        // The fingerprint is layout-independent, and the round trip back
+        // to raw is lossless.
+        assert_eq!(c.fingerprint(), g.fingerprint());
+        let back = c.into_lane_layout(LaneLayout::Raw);
+        assert_eq!(back.lane_layout(), LaneLayout::Raw);
+        assert_eq!(back.fingerprint(), g.fingerprint());
+    }
+
+    #[test]
+    fn lane_layout_conversion_is_idempotent_and_tracks_bytes() {
+        let g = toy();
+        let raw_bytes = g.resident_lane_bytes();
+        assert_eq!(raw_bytes, 2 * g.num_edges() * (8 + 4 + 4));
+        let same = g.clone().into_lane_layout(LaneLayout::Raw);
+        assert_eq!(same.resident_lane_bytes(), raw_bytes);
+        let c = g.into_lane_layout(LaneLayout::Compressed);
+        // The toy spans 21 ticks: deltas pack into ≤ 5 bits, so the ts
+        // store shrinks even with per-node metadata.
+        assert!(c.resident_lane_bytes() < raw_bytes);
+        let still = c.clone().into_lane_layout(LaneLayout::Compressed);
+        assert_eq!(still.resident_lane_bytes(), c.resident_lane_bytes());
+    }
+
+    #[test]
+    fn parallel_lane_build_is_bit_identical() {
+        let edges: Vec<TemporalEdge> = (0..500)
+            .map(|i| TemporalEdge::new(i % 23, (i * 7 + 1) % 23, (i as i64 * 13) % 97))
+            .filter(|e| !e.is_self_loop())
+            .collect();
+        let mut sorted = edges;
+        sorted.sort_by_key(|e| e.t);
+        let seq = TemporalGraph::from_sorted_edges(23, sorted.clone());
+        for threads in [2, 3, 4, 8, 64] {
+            let par = TemporalGraph::from_sorted_edges_with_threads(23, sorted.clone(), threads);
+            assert_eq!(par.fingerprint(), seq.fingerprint(), "threads={threads}");
+            for u in seq.node_ids() {
+                let (a, b) = (seq.node_events(u), par.node_events(u));
+                assert_eq!(a.len(), b.len());
+                for i in 0..a.len() {
+                    assert_eq!(a.get(i), b.get(i), "threads={threads} node {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_chronological_edges_keeps_global_ids() {
+        // A "chunk" missing the high-id node still reserves its id space.
+        let g = TemporalGraph::from_chronological_edges(
+            10,
+            vec![TemporalEdge::new(1, 2, 5), TemporalEdge::new(2, 9, 7)],
+        );
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.degree(9), 1);
+        assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by timestamp")]
+    fn from_chronological_edges_rejects_unsorted() {
+        let _ = TemporalGraph::from_chronological_edges(
+            3,
+            vec![TemporalEdge::new(0, 1, 9), TemporalEdge::new(1, 2, 3)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "num_nodes")]
+    fn from_chronological_edges_rejects_out_of_range_node() {
+        let _ = TemporalGraph::from_chronological_edges(2, vec![TemporalEdge::new(0, 5, 1)]);
     }
 
     #[test]

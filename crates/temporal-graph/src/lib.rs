@@ -16,6 +16,13 @@
 //!   lists `E(v, w)`,
 //! * [`io`] — loaders/writers for the SNAP-style `src dst t` text format
 //!   used by the paper's 16 public datasets,
+//! * [`lanes`] — the selectable timestamp-lane layouts ([`LaneLayout`]):
+//!   raw 8-byte slices or delta-from-anchor bit-packed runs with O(1)
+//!   random-access decode,
+//! * [`ooc`] — the out-of-core edge file (`HARELG01`): chronological
+//!   varint-delta edges plus a sparse time index, read back in
+//!   time-range chunks via `pread` so counting never materialises the
+//!   full graph,
 //! * [`gen`] — deterministic synthetic generators used as calibrated
 //!   stand-ins for datasets that cannot be downloaded in this environment,
 //! * [`stats`] — degree/time statistics backing Table II and Fig. 9.
@@ -56,11 +63,14 @@ mod types;
 
 pub mod gen;
 pub mod io;
+pub mod lanes;
+pub mod ooc;
 pub mod slices;
 pub mod stats;
 pub mod util;
 
 pub use builder::GraphBuilder;
 pub use graph::{Event, NodeEvents, NodeEventsIter, PairEvent, PairIndex, TemporalGraph};
+pub use lanes::{LaneLayout, TsLane, TsRead};
 pub use slices::{NodeSlice, WindowSlices};
 pub use types::{Dir, EdgeId, NodeId, TemporalEdge, Timestamp};

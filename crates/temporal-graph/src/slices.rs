@@ -272,7 +272,7 @@ pub fn scan(
         let mut k: Timestamp = -1;
         let mut window_end: Timestamp = Timestamp::MIN;
         while i < ts.len() {
-            let t = ts[i];
+            let t = ts.get(i);
             if t >= window_end {
                 if k < 0 || t >= window_end.saturating_add(len.saturating_mul(8)) {
                     // Large gap (or first event): one division.
@@ -289,7 +289,7 @@ pub fn scan(
                 }
             }
             let mut j = i + 1;
-            while j < ts.len() && ts[j] < window_end {
+            while j < ts.len() && ts.get(j) < window_end {
                 j += 1;
             }
             visit(k as usize, u, i..j);
@@ -321,9 +321,9 @@ mod tests {
                     let ts = g.node_events(s.node).ts_lane();
                     for i in s.range() {
                         assert!(
-                            ts[i] >= lo && ts[i] < hi,
+                            ts.get(i) >= lo && ts.get(i) < hi,
                             "event at t={} outside window [{lo},{hi})",
-                            ts[i]
+                            ts.get(i)
                         );
                         let seen = &mut covered[s.node as usize][i];
                         assert!(!*seen, "position covered twice");

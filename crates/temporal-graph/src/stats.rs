@@ -130,7 +130,8 @@ pub fn mean_window_degree(g: &TemporalGraph, delta: Timestamp) -> f64 {
             if j < i + 1 {
                 j = i + 1;
             }
-            while j < ts.len() && ts[j] - ts[i] <= delta {
+            let ti = ts.get(i);
+            while j < ts.len() && ts.get(j) - ti <= delta {
                 j += 1;
             }
             total += j - (i + 1);

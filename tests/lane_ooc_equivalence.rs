@@ -1,0 +1,88 @@
+//! Property battery for the execution-strategy invariants behind the
+//! lane-compression and out-of-core work: however the timestamps are
+//! stored (raw vs delta-packed lanes) and however the graph is fed to
+//! the kernels (one in-RAM arena vs delta-haloed chunks under a byte
+//! budget), the `MotifMatrix`, the per-node `NodeProfiles`, and the
+//! graph fingerprint must be bit-identical. The `arb::graph` streams
+//! include self-loops (dropped by the builder) and heavy timestamp
+//! ties, the cases where chunk cuts and packed decoding are most likely
+//! to drift.
+
+use proptest::prelude::*;
+
+use hare::{InMemorySource, OocConfig};
+use temporal_graph::gen::arb;
+use temporal_graph::LaneLayout;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compressed lanes are a storage change only: counts, per-node
+    /// profiles and the content fingerprint all survive a round trip
+    /// through the packed representation bit-for-bit.
+    #[test]
+    fn compressed_lanes_preserve_counts_profiles_and_fingerprint(
+        g in arb::graph(10, 60, 90),
+        delta in 0i64..120,
+    ) {
+        let packed = g.clone().into_lane_layout(LaneLayout::Compressed);
+        prop_assert_eq!(packed.fingerprint(), g.fingerprint());
+        prop_assert_eq!(
+            hare::count_motifs(&packed, delta).matrix,
+            hare::count_motifs(&g, delta).matrix
+        );
+        prop_assert_eq!(
+            hare::NodeProfiles::compute(&packed, delta, 1),
+            hare::NodeProfiles::compute(&g, delta, 1)
+        );
+        // And back: unpacking restores the raw path exactly.
+        let raw_again = packed.into_lane_layout(LaneLayout::Raw);
+        prop_assert_eq!(raw_again.fingerprint(), g.fingerprint());
+        prop_assert_eq!(
+            hare::count_motifs(&raw_again, delta).matrix,
+            hare::count_motifs(&g, delta).matrix
+        );
+    }
+
+    /// Chunk-loaded counting equals the in-RAM kernel for every budget,
+    /// from "everything in one chunk" down to budgets so small every cut
+    /// is forced — exactness is never traded for the budget.
+    #[test]
+    fn chunked_counts_match_in_ram_at_any_budget(
+        g in arb::graph(10, 60, 90),
+        delta in 0i64..120,
+        budget_divisor in 1usize..12,
+        compressed in 0usize..2,
+    ) {
+        let reference = hare::count_motifs(&g, delta);
+        let src = InMemorySource::from_graph(&g);
+        let full = (g.num_edges() as usize) * hare::ooc::LANE_BYTES_PER_EDGE;
+        let layout = if compressed == 1 { LaneLayout::Compressed } else { LaneLayout::Raw };
+        let cfg = OocConfig {
+            delta,
+            budget_bytes: full / budget_divisor + 1,
+            lane_layout: layout,
+        };
+        let (counts, stats) = hare::count_motifs_ooc(&src, cfg).unwrap();
+        prop_assert_eq!(counts.matrix, reference.matrix);
+        if layout == LaneLayout::Raw && stats.forced_cuts == 0 {
+            prop_assert!(stats.peak_resident_lane_bytes <= cfg.budget_bytes);
+        }
+    }
+
+    /// Chunk-loaded per-node profiles equal the in-RAM driver, node for
+    /// node and counter for counter.
+    #[test]
+    fn chunked_profiles_match_in_ram(
+        g in arb::graph(10, 50, 80),
+        delta in 0i64..100,
+        budget_divisor in 1usize..8,
+    ) {
+        let reference = hare::NodeProfiles::compute(&g, delta, 1);
+        let src = InMemorySource::from_graph(&g);
+        let full = (g.num_edges() as usize) * hare::ooc::LANE_BYTES_PER_EDGE;
+        let cfg = OocConfig::new(delta, full / budget_divisor + 1);
+        let (profiles, _) = hare::node_profiles_ooc(&src, cfg).unwrap();
+        prop_assert_eq!(profiles, reference);
+    }
+}
