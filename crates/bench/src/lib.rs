@@ -7,6 +7,7 @@
 //! |---|---|
 //! | `exp_perf`    | Perf trajectory snapshot (`BENCH_<n>.json` per PR) |
 //! | `exp_approx`  | Accuracy-vs-speedup sweep of the sampling estimator |
+//! | `exp_stream`  | Bounded-memory streaming estimator battery (`BENCH_STREAM_<n>.json`) |
 //! | `exp_serve`   | `hare-serve` latency/throughput (cold vs cache hit) |
 //! | `exp_table2`  | Table II — dataset statistics |
 //! | `exp_fig9`    | Fig. 9 — WikiTalk degree skew & per-node cost |
@@ -117,6 +118,50 @@
 //! `prob = 1.0` rows reproduce the exact counts bit-identically and
 //! that coverage never collapses (a broken variance estimate or rescale
 //! fails CI).
+//!
+//! ## Streaming-estimator snapshot schema (`exp_stream`)
+//!
+//! `exp_stream` replays CollegeMsg through
+//! [`hare::stream_sample::StreamingEstimator`] under a ladder of byte
+//! budgets (fractions of the full retained footprint) and scores the
+//! final tick against the exact sliding-window engine over 50 seeds
+//! per budget (8 with `--quick`). Schema `hare-bench/stream/v1`
+//! (default `BENCH_STREAM.json`; override with `--out`):
+//!
+//! ```json
+//! {
+//!   "schema": "hare-bench/stream/v1",
+//!   "dataset": "CollegeMsg", "scale": 1, "delta": 600,
+//!   "window": 16651257, "window_factor": 8, "confidence": 0.95,
+//!   "seeds": 50, "quick": false,
+//!   "edges": 20296, "footprint_bytes": 324736, "exact_total": 40075,
+//!   "rows": [
+//!     { "frac": 8, "budget_bytes": 40592, "mean_s": 0.0102,
+//!       "final_prob": 0.5, "max_retained_bytes": 40592,
+//!       "mean_rel_err": 0.0054,
+//!       "coverage": 0.93, "coverage_supported": 1.0,
+//!       "support_min_count": 30, "mean_total": 40034.2 }
+//!   ]
+//! }
+//! ```
+//!
+//! * `frac` — the budget is `footprint_bytes / frac`, so `frac = 1` is
+//!   the never-binding roomy budget and larger fractions squeeze
+//!   harder; `max_retained_bytes` — the largest accounted footprint
+//!   observed after any push across all seeds (asserted `<=` budget
+//!   after every single push, not just at ticks).
+//! * `final_prob` — mean over seeds of the coin-tier `p` at the final
+//!   tick; `mean_rel_err` — mean over seeds of the mean relative error
+//!   across motifs with non-zero exact count.
+//! * `coverage` — fraction of (seed × non-zero motif) cells whose 95%
+//!   CI covers the exact count; `coverage_supported` restricts to
+//!   motifs with exact count ≥ `support_min_count`, where the normal
+//!   intervals' CLT assumption has enough mass to bite.
+//! * In-binary asserts: the roomy budget reproduces the exact counts
+//!   with degenerate intervals, every push stays under budget, the
+//!   `frac = 8` supported coverage clears 0.90 (0.5 with `--quick`),
+//!   and the mean total drifts < 15% from exact. One snapshot is
+//!   committed per streaming-focused PR (`BENCH_STREAM_<pr>.json`).
 //!
 //! ## Service snapshot schema (`exp_serve`)
 //!

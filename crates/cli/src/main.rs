@@ -14,6 +14,7 @@
 use std::process::ExitCode;
 
 use hare::sample::{SampleConfig, SampledCounter};
+use hare::stream_sample::{StreamSampleConfig, StreamingEstimator};
 use hare::streaming::StreamError;
 use hare::windowed::WindowedCounter;
 use hare::{Hare, HareConfig, MotifCategory};
@@ -84,6 +85,15 @@ STREAMING (sliding-window) MODE:
                         behind the newest timestamp (default 0); later
                         arrivals are dropped and reported, not fatal
     --tick SECONDS      tick interval in event time (default: the window)
+    --memory-budget B   bounded-memory estimation: keep a deterministic
+                        seeded interval reservoir of at most B bytes and
+                        emit per-tick unbiased estimates with stderr and
+                        confidence intervals instead of exact counts
+                        (the keep probability p halves as the stream
+                        fills the budget). Requires --window; accepts
+                        --ci/--window-factor/--seed; a budget large
+                        enough to retain the whole window reproduces the
+                        exact ticks bit-identically
 
 SERVICE PARITY:
     The long-running `hare-serve` daemon answers the same queries over
@@ -117,6 +127,7 @@ struct Opts {
     rank_motif: Option<String>,
     lanes: String,
     chunk_budget: Option<usize>,
+    memory_budget: Option<u64>,
 }
 
 fn parse_lanes(name: &str) -> Result<temporal_graph::LaneLayout, String> {
@@ -152,6 +163,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         rank_motif: None,
         lanes: "raw".into(),
         chunk_budget: None,
+        memory_budget: None,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -242,6 +254,13 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                         .map_err(|e| format!("--chunk-budget: {e}"))?,
                 )
             }
+            "--memory-budget" => {
+                o.memory_budget = Some(
+                    value("--memory-budget")?
+                        .parse()
+                        .map_err(|e| format!("--memory-budget: {e}"))?,
+                )
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -307,11 +326,35 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 o.window_factor
             ));
         }
-    } else if ["--prob", "--ci", "--window-factor", "--seed"]
-        .iter()
-        .any(|f| args.iter().any(|a| a == f))
-    {
-        return Err("--prob/--ci/--window-factor/--seed require --approx".into());
+    } else {
+        if args.iter().any(|a| a == "--prob") {
+            return Err("--prob requires --approx".into());
+        }
+        // --ci/--window-factor/--seed tune either estimator.
+        if o.memory_budget.is_none()
+            && ["--ci", "--window-factor", "--seed"]
+                .iter()
+                .any(|f| args.iter().any(|a| a == f))
+        {
+            return Err("--ci/--window-factor/--seed require --approx or --memory-budget".into());
+        }
+    }
+    if let Some(b) = o.memory_budget {
+        if b == 0 {
+            return Err("--memory-budget must be at least 1 byte".into());
+        }
+        if o.window.is_none() {
+            return Err("--memory-budget requires --window (streaming mode)".into());
+        }
+        if !(o.ci > 0.0 && o.ci < 1.0) {
+            return Err(format!("--ci must be in (0, 1), got {}", o.ci));
+        }
+        if o.window_factor < 1 {
+            return Err(format!(
+                "--window-factor must be at least 1, got {}",
+                o.window_factor
+            ));
+        }
     }
     if o.nodes {
         if o.delta.is_none() {
@@ -394,24 +437,86 @@ struct DropStats {
     self_loops: u64,
 }
 
-fn emit_tick(o: &Opts, wc: &WindowedCounter, tick_t: Timestamp, drops: &DropStats) {
-    if o.json {
-        let body = hare::report::windowed_tick_body(tick_t, wc, drops.late, drops.self_loops);
-        print!("{}", hare::report::render(&body));
-    } else {
-        let matrix = wc.counts();
-        println!(
-            "tick t={tick_t} | live edges {} | total motifs {} | late dropped {}",
-            wc.live_edges(),
-            matrix.total(),
-            drops.late
-        );
-        println!("{matrix}");
+/// The engine behind `--window` mode: exact live-window counting, or —
+/// with `--memory-budget` — the bounded-memory streaming estimator.
+/// Both mirror the same acceptance semantics, so tick cadence and drop
+/// counters are identical for the same stream.
+enum StreamEngine {
+    Exact(Box<WindowedCounter>),
+    Budget(Box<StreamingEstimator>),
+}
+
+impl StreamEngine {
+    fn push(&mut self, src: NodeId, dst: NodeId, t: Timestamp) -> Result<(), StreamError> {
+        match self {
+            StreamEngine::Exact(wc) => wc.push(src, dst, t),
+            StreamEngine::Budget(est) => est.push(src, dst, t),
+        }
+    }
+
+    fn advance_to(&mut self, t: Timestamp) {
+        match self {
+            StreamEngine::Exact(wc) => wc.advance_to(t),
+            StreamEngine::Budget(est) => est.advance_to(t),
+        }
+    }
+
+    fn flush(&mut self) {
+        match self {
+            StreamEngine::Exact(wc) => wc.flush(),
+            StreamEngine::Budget(est) => est.flush(),
+        }
+    }
+}
+
+fn emit_tick(o: &Opts, engine: &StreamEngine, tick_t: Timestamp, drops: &DropStats) {
+    match engine {
+        StreamEngine::Exact(wc) => {
+            if o.json {
+                let body =
+                    hare::report::windowed_tick_body(tick_t, wc, drops.late, drops.self_loops);
+                print!("{}", hare::report::render(&body));
+            } else {
+                let matrix = wc.counts();
+                println!(
+                    "tick t={tick_t} | live edges {} | total motifs {} | late dropped {}",
+                    wc.live_edges(),
+                    matrix.total(),
+                    drops.late
+                );
+                println!("{matrix}");
+            }
+        }
+        StreamEngine::Budget(est) => {
+            let tick = est.estimates();
+            if o.json {
+                let body = hare::report::stream_tick_body(
+                    tick_t,
+                    o.slack,
+                    &tick,
+                    drops.late,
+                    drops.self_loops,
+                );
+                print!("{}", hare::report::render(&body));
+            } else {
+                println!(
+                    "tick t={tick_t} | retained {} edges ({}/{} B) | p={} | total estimate {:.1} \
+                     | late dropped {}",
+                    tick.retained_edges,
+                    tick.retained_bytes,
+                    tick.budget_bytes,
+                    tick.prob,
+                    tick.total_estimate(),
+                    drops.late
+                );
+            }
+        }
     }
 }
 
 /// Sliding-window streaming mode: feed the arrival stream through a
-/// `WindowedCounter`, emitting the live-window motif matrix at every
+/// `WindowedCounter` (or, under `--memory-budget`, the bounded-memory
+/// estimator), emitting the live-window motif matrix at every
 /// event-time tick boundary and once more at the final watermark.
 fn run_stream(o: &Opts) -> Result<(), String> {
     let delta = o.delta.expect("validated");
@@ -419,7 +524,21 @@ fn run_stream(o: &Opts) -> Result<(), String> {
     let tick = o.tick.unwrap_or_else(|| window.max(1));
     let arrivals = load_stream(o)?;
 
-    let mut wc = WindowedCounter::with_slack(delta, window, o.slack);
+    let mut wc = match o.memory_budget {
+        None => StreamEngine::Exact(Box::new(WindowedCounter::with_slack(
+            delta, window, o.slack,
+        ))),
+        Some(budget) => {
+            StreamEngine::Budget(Box::new(StreamingEstimator::new(StreamSampleConfig {
+                slack: o.slack,
+                window_factor: o.window_factor,
+                confidence: o.ci,
+                seed: o.seed,
+                threads: o.threads,
+                ..StreamSampleConfig::new(delta, window, budget)
+            })))
+        }
+    };
     let mut drops = DropStats::default();
     let mut next_boundary: Option<Timestamp> = None;
     let mut max_accepted: Option<Timestamp> = None;
@@ -919,6 +1038,116 @@ mod tests {
             v.extend(extra.iter().map(|s| (*s).to_string()));
             assert!(parse_args(&v).is_err(), "expected rejection for {extra:?}");
         }
+    }
+
+    #[test]
+    fn parses_memory_budget_flags() {
+        let o = parse_args(&args(&[
+            "--input",
+            "x.txt",
+            "--delta",
+            "600",
+            "--window",
+            "3600",
+            "--memory-budget",
+            "1048576",
+            "--seed",
+            "7",
+            "--ci",
+            "0.99",
+            "--window-factor",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(o.memory_budget, Some(1_048_576));
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.ci, 0.99);
+        assert_eq!(o.window_factor, 2);
+    }
+
+    #[test]
+    fn rejects_bad_memory_budget_combinations() {
+        // budget without --window
+        let e = parse_args(&args(&[
+            "--input",
+            "x",
+            "--delta",
+            "1",
+            "--memory-budget",
+            "4096",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--memory-budget requires --window"), "{e}");
+        // zero budget
+        let e = parse_args(&args(&[
+            "--input",
+            "x",
+            "--delta",
+            "1",
+            "--window",
+            "5",
+            "--memory-budget",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--memory-budget"), "{e}");
+        // exclusive with the other engines (transitively via --window)
+        for extra in [
+            ["--approx"].as_slice(),
+            ["--nodes"].as_slice(),
+            ["--stats"].as_slice(),
+            ["--chunk-budget", "4096"].as_slice(),
+        ] {
+            let mut v = args(&[
+                "--input",
+                "x",
+                "--delta",
+                "1",
+                "--window",
+                "5",
+                "--memory-budget",
+                "4096",
+            ]);
+            v.extend(extra.iter().map(|s| (*s).to_string()));
+            assert!(parse_args(&v).is_err(), "expected rejection for {extra:?}");
+        }
+        // --prob stays approx-only; bad ci / window-factor rejected here too
+        for extra in [["--prob", "0.5"], ["--ci", "1"], ["--window-factor", "0"]] {
+            let mut v = args(&[
+                "--input",
+                "x",
+                "--delta",
+                "1",
+                "--window",
+                "5",
+                "--memory-budget",
+                "4096",
+            ]);
+            v.extend(args(extra.as_slice()));
+            assert!(parse_args(&v).is_err(), "expected rejection for {extra:?}");
+        }
+        // sampling knobs still rejected without either estimator
+        let e = parse_args(&args(&["--input", "x", "--delta", "1", "--seed", "9"])).unwrap_err();
+        assert!(e.contains("--memory-budget"), "{e}");
+    }
+
+    #[test]
+    fn memory_budget_mode_runs_on_registry_dataset() {
+        let o = parse_args(&args(&[
+            "--dataset",
+            "CollegeMsg",
+            "--scale",
+            "8",
+            "--delta",
+            "600",
+            "--window",
+            "86400",
+            "--memory-budget",
+            "65536",
+            "--json",
+        ]))
+        .unwrap();
+        run(&o).unwrap();
     }
 
     #[test]

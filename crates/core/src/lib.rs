@@ -30,6 +30,12 @@
 //!   sampling: windows of the time axis are kept with probability `p`,
 //!   counted exactly with the fused kernel, and rescaled into unbiased
 //!   per-motif estimates with confidence intervals.
+//! * [`stream_sample::StreamingEstimator`] — bounded-memory approximate
+//!   counting on unbounded streams: a deterministic seeded interval
+//!   reservoir under a hard byte budget, with per-tick unbiased
+//!   estimates and confidence intervals; with a budget large enough to
+//!   retain everything each tick is bit-identical to
+//!   [`windowed::WindowedCounter`].
 //! * [`ooc`] — out-of-core exact counting: δ-haloed time chunks of an
 //!   [`ooc::EdgeSource`] (in-RAM slice or `HARELG01` lane file) are
 //!   streamed through the fused kernel under a resident lane-byte
@@ -77,6 +83,7 @@ pub mod ooc;
 pub mod report;
 pub mod sample;
 pub mod scratch;
+pub mod stream_sample;
 pub mod streaming;
 pub mod sweep;
 pub mod windowed;
@@ -94,6 +101,7 @@ pub use ooc::{
 };
 pub use sample::{MotifEstimate, SampleConfig, SampledCounter, SampledCounts};
 pub use scratch::NeighborScratch;
+pub use stream_sample::{StreamEstimates, StreamSampleConfig, StreamingEstimator};
 pub use windowed::WindowedCounter;
 
 use temporal_graph::{TemporalGraph, Timestamp};

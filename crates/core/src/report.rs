@@ -17,6 +17,11 @@
 //! * [`windowed_tick_body`] — one sliding-window tick (streaming CLI
 //!   mode, `GET /sessions/{id}`): `{"tick","delta","window","slack",
 //!   "live_edges","late_dropped","self_loops_dropped","total","counts"}`
+//! * [`stream_tick_body`] — one bounded-memory estimator tick
+//!   (`--memory-budget` CLI mode, budgeted sessions): `{"tick","delta",
+//!   "window","slack","budget":{...},"late_dropped",
+//!   "self_loops_dropped","total_estimate","counts":[{"motif",
+//!   "estimate","stderr","ci_lo","ci_hi"}×36]}`
 //! * [`graph_stats_body`] — graph shape only (`hare-count --stats`,
 //!   dataset registration responses).
 //!
@@ -45,6 +50,7 @@ use crate::counters::MotifMatrix;
 use crate::fingerprint::NodeProfile;
 use crate::motif::{Motif, MotifCategory};
 use crate::sample::SampledCounts;
+use crate::stream_sample::StreamEstimates;
 use crate::windowed::WindowedCounter;
 use temporal_graph::stats::GraphStats;
 use temporal_graph::{NodeId, Timestamp};
@@ -154,6 +160,55 @@ pub fn windowed_tick_body(
         "self_loops_dropped": self_loops_dropped,
         "total": matrix.total(),
         "counts": count_cells(&matrix),
+    })
+}
+
+/// One bounded-memory streaming-estimator tick: per-motif estimates
+/// with error bounds over the retained reservoir as of event time
+/// `tick`, plus the budget block and the stream's cumulative drop
+/// counters. Emitted by `hare-count --window W --memory-budget B` and,
+/// byte-identically, by budgeted `hare-serve` sessions.
+#[must_use]
+pub fn stream_tick_body(
+    tick: Timestamp,
+    slack: Timestamp,
+    est: &StreamEstimates,
+    late_dropped: u64,
+    self_loops_dropped: u64,
+) -> Value {
+    let cells: Vec<Value> = est
+        .iter()
+        .map(|(m, e)| {
+            serde_json::json!({
+                "motif": m.to_string(),
+                "estimate": e.estimate,
+                "stderr": e.stderr,
+                "ci_lo": e.ci_lo,
+                "ci_hi": e.ci_hi,
+            })
+        })
+        .collect();
+    let budget = serde_json::json!({
+        "bytes": est.budget_bytes,
+        "retained_edges": est.retained_edges,
+        "retained_bytes": est.retained_bytes,
+        "prob": est.prob,
+        "confidence": est.confidence,
+        "interval_len": est.interval_len,
+        "intervals_sampled": est.intervals_sampled,
+        "intervals_exact": est.intervals_exact,
+        "intervals_summarized": est.intervals_summarized,
+    });
+    serde_json::json!({
+        "tick": tick,
+        "delta": est.delta,
+        "window": est.window,
+        "slack": slack,
+        "budget": budget,
+        "late_dropped": late_dropped,
+        "self_loops_dropped": self_loops_dropped,
+        "total_estimate": est.total_estimate(),
+        "counts": Value::from(cells),
     })
 }
 
@@ -318,6 +373,28 @@ mod tests {
         assert!(
             body.starts_with(r#"{"tick":14,"delta":20,"window":100,"slack":0,"live_edges":3,"late_dropped":2,"self_loops_dropped":1,"total":1,"counts":["#),
             "prefix drifted: {body}"
+        );
+        assert_eq!(body.matches("\"motif\"").count(), 36);
+    }
+
+    #[test]
+    fn stream_tick_body_bytes_are_pinned() {
+        use crate::stream_sample::{StreamSampleConfig, StreamingEstimator};
+        let mut est = StreamingEstimator::new(StreamSampleConfig::new(20, 100, 1 << 20));
+        for (s, d, t) in [(0u32, 1u32, 10i64), (1, 2, 12), (2, 0, 14)] {
+            est.push(s, d, t).unwrap();
+        }
+        est.flush();
+        let body = render(&stream_tick_body(14, 0, &est.estimates(), 2, 1));
+        assert!(
+            body.starts_with(
+                r#"{"tick":14,"delta":20,"window":100,"slack":0,"budget":{"bytes":1048576,"retained_edges":3,"retained_bytes":48,"prob":1.0,"confidence":0.95,"interval_len":200,"intervals_sampled":0,"intervals_exact":1,"intervals_summarized":0},"late_dropped":2,"self_loops_dropped":1,"total_estimate":1.0,"counts":[{"motif":"M11","estimate":0.0,"stderr":0.0,"ci_lo":0.0,"ci_hi":0.0},"#
+            ),
+            "prefix drifted: {body}"
+        );
+        assert!(
+            body.contains(r#"{"motif":"M26","estimate":1.0,"stderr":0.0,"ci_lo":1.0,"ci_hi":1.0}"#),
+            "{body}"
         );
         assert_eq!(body.matches("\"motif\"").count(), 36);
     }

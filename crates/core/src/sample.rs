@@ -455,19 +455,20 @@ impl SampledCounter {
 
 /// Raw fused-kernel output of one window: the flat accumulator layouts
 /// of [`crate::counters`] (`ty·8 + d1·4 + d2·2 + d3` star/tri, `d1·4 +
-/// d2·2 + d3` pair).
+/// d2·2 + d3` pair). Shared with the bounded-memory streaming estimator
+/// ([`crate::stream_sample`]), whose per-tick fold is the same math.
 #[derive(Default)]
-struct WindowTally {
-    star: [u64; 24],
-    pair: [u64; 8],
-    tri: [u64; 24],
+pub(crate) struct WindowTally {
+    pub(crate) star: [u64; 24],
+    pub(crate) pair: [u64; 8],
+    pub(crate) tri: [u64; 24],
     /// `false` means the window had no runs at all (bursty graphs leave
     /// most windows dead) — the fold skips it without reading the cells.
-    touched: bool,
+    pub(crate) touched: bool,
 }
 
 impl WindowTally {
-    fn merge(&mut self, other: &WindowTally) {
+    pub(crate) fn merge(&mut self, other: &WindowTally) {
         for (a, b) in self.star.iter_mut().zip(other.star) {
             *a += b;
         }
@@ -535,14 +536,14 @@ fn midx(m: Motif) -> usize {
 /// ~56 indexed adds instead of three trips through the counter
 /// iterators (the fold runs once per sampled window — at small `c` that
 /// is the per-window constant that would eat the sampling speedup).
-struct FoldTables {
+pub(crate) struct FoldTables {
     star: [usize; 24],
     pair: [usize; 8],
     tri: [usize; 24],
 }
 
 impl FoldTables {
-    fn new() -> FoldTables {
+    pub(crate) fn new() -> FoldTables {
         let dir = |bit: usize| if bit == 0 { Dir::Out } else { Dir::In };
         let mut t = FoldTables {
             star: [0; 24],
@@ -569,7 +570,7 @@ impl FoldTables {
 /// debug builds), triangle class cells third (a triangle's three
 /// per-center counts may split 2 + 1 across two windows, making thirds
 /// the honest per-window attribution).
-fn fold_fractional(t: &WindowTally, tables: &FoldTables) -> [f64; 36] {
+pub(crate) fn fold_fractional(t: &WindowTally, tables: &FoldTables) -> [f64; 36] {
     let mut out = [0.0f64; 36];
     for (i, &n) in t.star.iter().enumerate() {
         out[tables.star[i]] += n as f64;
@@ -600,7 +601,7 @@ fn fold_fractional(t: &WindowTally, tables: &FoldTables) -> [f64; 36] {
 
 /// Inverse standard-normal CDF (Acklam's rational approximation,
 /// |ε| < 1.2e-9 — far below the sampling noise it is paired with).
-fn normal_quantile(p: f64) -> f64 {
+pub(crate) fn normal_quantile(p: f64) -> f64 {
     debug_assert!(p > 0.0 && p < 1.0);
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,

@@ -23,12 +23,13 @@ use std::path::{Path, PathBuf};
 use rules::{Finding, ScopeSet};
 
 /// Counting/estimation modules bound by the determinism (D) rules.
-const DETERMINISM_SCOPE: [&str; 6] = [
+const DETERMINISM_SCOPE: [&str; 7] = [
     "crates/core/src/fused.rs",
     "crates/core/src/hare.rs",
     "crates/core/src/sample.rs",
     "crates/core/src/windowed.rs",
     "crates/core/src/streaming.rs",
+    "crates/core/src/stream_sample.rs",
     "crates/core/src/ooc.rs",
 ];
 
@@ -110,6 +111,7 @@ mod tests {
     fn scopes_follow_paths() {
         assert!(scopes_for("crates/core/src/fused.rs").determinism);
         assert!(scopes_for("crates/core/src/ooc.rs").determinism);
+        assert!(scopes_for("crates/core/src/stream_sample.rs").determinism);
         assert!(scopes_for("crates/temporal-graph/src/graph.rs").determinism);
         assert!(scopes_for("crates/temporal-graph/src/ooc.rs").determinism);
         assert!(!scopes_for("crates/core/src/lib.rs").determinism);

@@ -73,7 +73,7 @@ pub fn handle(state: &AppState, req: &Request) -> ApiResponse {
         ("POST", ["sessions"]) => create_session(state, req),
         ("GET", ["sessions", id]) => with_session(state, id, |s| ok(200, &s.tick_body())),
         ("POST", ["sessions", id, "flush"]) => with_session(state, id, |s| {
-            s.wc.flush();
+            s.flush();
             ok(200, &s.tick_body())
         }),
         ("POST", ["sessions", id, "edges"]) => session_push(state, id, req),
@@ -141,6 +141,8 @@ fn stats(state: &AppState) -> ApiResponse {
         "open": state.sessions.open_count(),
         "created": state.sessions.created_count(),
         "max_open": state.cfg.max_sessions,
+        "memory_pool": state.sessions.pool_bytes().map_or(Value::Null, Value::from),
+        "memory_reserved": state.sessions.reserved_bytes(),
     });
     let shutdown_enabled = state.cfg.enable_shutdown;
     ok(
@@ -480,8 +482,15 @@ fn create_session(state: &AppState, req: &Request) -> ApiResponse {
     if slack < 0 {
         return error_response(400, "'slack' must be non-negative");
     }
-    // Bound client-driven memory: every open session holds a live
-    // WindowedCounter, so creation beyond the cap is backpressured.
+    let memory_budget = match (&v["memory_budget"], v["memory_budget"].as_u64()) {
+        (Value::Null, _) => None,
+        (_, Some(b)) if b >= 1 => Some(b),
+        (_, _) => return error_response(400, "'memory_budget' must be a positive integer (bytes)"),
+    };
+    // Bound client-driven memory twice over: every open session holds a
+    // live engine, so creation beyond the count cap is backpressured,
+    // and budgeted sessions additionally reserve their bytes from the
+    // daemon-wide pool.
     if state.sessions.open_count() >= state.cfg.max_sessions {
         return error_response(
             429,
@@ -491,16 +500,29 @@ fn create_session(state: &AppState, req: &Request) -> ApiResponse {
             ),
         );
     }
-    let id = state.sessions.create(delta, window, slack);
-    ok(
-        201,
-        &serde_json::json!({
-            "session": id,
-            "delta": delta,
-            "window": window,
-            "slack": slack,
-        }),
-    )
+    let id = match state.sessions.create(delta, window, slack, memory_budget) {
+        Ok(id) => id,
+        Err(e) => {
+            return error_response(
+                429,
+                &format!(
+                    "session memory pool exhausted ({} bytes requested, {} available); \
+                     close a budgeted session or retry later",
+                    e.requested, e.available
+                ),
+            )
+        }
+    };
+    let mut body = serde_json::json!({
+        "session": id,
+        "delta": delta,
+        "window": window,
+        "slack": slack,
+    });
+    if let (Some(b), Some(map)) = (memory_budget, body.as_object_mut()) {
+        map.insert("memory_budget".into(), b.into());
+    }
+    ok(201, &body)
 }
 
 /// Resolve a path segment to a session and run `f` under its lock.
@@ -559,16 +581,7 @@ fn session_push(state: &AppState, id: &str, req: &Request) -> ApiResponse {
     }
     with_session(state, id, |s| {
         let out = s.push_edges(&edges);
-        ok(
-            200,
-            &serde_json::json!({
-                "accepted": out.accepted,
-                "late_dropped": out.late_dropped,
-                "self_loops_dropped": out.self_loops_dropped,
-                "live_edges": s.wc.live_edges(),
-                "buffered_edges": s.wc.buffered_edges(),
-            }),
-        )
+        ok(200, &s.push_body(out))
     })
 }
 

@@ -17,7 +17,11 @@
 //!   hit/miss metrics on `GET /stats`. Repeated queries are O(1).
 //! * **Streaming ingest sessions** ([`sessions`]) — per-client
 //!   [`hare::windowed::WindowedCounter`]s: push edges, poll the live
-//!   per-tick motif matrix.
+//!   per-tick motif matrix. Sessions created with a `"memory_budget"`
+//!   run the bounded-memory estimator
+//!   ([`hare::stream_sample::StreamingEstimator`]) instead, with their
+//!   budgets carved out of the daemon-wide `--session-memory-budget`
+//!   pool.
 //! * **Graceful shutdown** — SIGTERM/SIGINT (binary) or
 //!   `POST /shutdown` (test mode): the acceptor stops, every queued and
 //!   in-flight request still completes, then workers join.
@@ -94,6 +98,12 @@ pub struct ServerConfig {
     /// the cap is answered `429` (each session holds a live
     /// `WindowedCounter`, so the cap bounds client-driven memory).
     pub max_sessions: usize,
+    /// Daemon-wide byte pool for budgeted sessions (`None` = unmetered):
+    /// each session created with a `"memory_budget"` reserves that many
+    /// bytes at creation (answered `429` when the pool is exhausted) and
+    /// returns them on close, so total estimator memory stays bounded
+    /// regardless of how many budgeted sessions clients open.
+    pub session_memory_budget: Option<u64>,
     /// Allow `POST /shutdown` (test mode; the binary's flag).
     pub enable_shutdown: bool,
     /// Registry datasets to load at startup: `(name, scale)`.
@@ -111,6 +121,7 @@ impl Default for ServerConfig {
             max_body_bytes: 16 * 1024 * 1024,
             io_timeout: Duration::from_secs(30),
             max_sessions: 1024,
+            session_memory_budget: None,
             enable_shutdown: false,
             preload: Vec::new(),
         }
@@ -212,7 +223,7 @@ impl Server {
         let state = Arc::new(AppState {
             cache: ResultCache::new(cfg.cache_capacity),
             catalog,
-            sessions: SessionStore::new(),
+            sessions: SessionStore::with_pool(cfg.session_memory_budget),
             metrics: Metrics::default(),
             cfg,
             shutdown_flag: AtomicBool::new(false),
@@ -531,6 +542,76 @@ mod tests {
         let closed = client::request(addr, "DELETE", &format!("/sessions/{id}"), None).unwrap();
         assert_eq!(closed.status, 200);
         assert_eq!(create().status, 201);
+        server.shutdown_and_wait().unwrap();
+    }
+
+    #[test]
+    fn budgeted_sessions_draw_from_the_memory_pool() {
+        let server = test_server(ServerConfig {
+            session_memory_budget: Some(100_000),
+            ..ServerConfig::default()
+        });
+        let addr = server.addr();
+        let created = client::post(
+            addr,
+            "/sessions",
+            r#"{"delta":20,"window":100,"memory_budget":65536}"#,
+        )
+        .unwrap();
+        assert_eq!(created.status, 201, "{}", created.text());
+        let cv = created.json().unwrap();
+        assert_eq!(cv["memory_budget"].as_u64(), Some(65536));
+        let id = cv["session"].as_u64().unwrap();
+
+        // The pool has 100_000 - 65_536 bytes left: too small for a peer.
+        let over = client::post(
+            addr,
+            "/sessions",
+            r#"{"delta":20,"window":100,"memory_budget":65536}"#,
+        )
+        .unwrap();
+        assert_eq!(over.status, 429, "{}", over.text());
+        assert!(over.text().contains("memory pool"), "{}", over.text());
+        let stats = client::get(addr, "/stats").unwrap().json().unwrap();
+        assert_eq!(stats["sessions"]["memory_pool"].as_u64(), Some(100_000));
+        assert_eq!(stats["sessions"]["memory_reserved"].as_u64(), Some(65536));
+
+        // Estimator sessions flush to the estimator tick shape.
+        let push = client::post(
+            addr,
+            &format!("/sessions/{id}/edges"),
+            r#"{"edges":[[0,1,10],[1,2,12],[2,0,14]]}"#,
+        )
+        .unwrap();
+        assert_eq!(push.status, 200);
+        let pv = push.json().unwrap();
+        assert_eq!(pv["retained_edges"].as_u64(), Some(3));
+        let tick = client::post(addr, &format!("/sessions/{id}/flush"), "")
+            .unwrap()
+            .json()
+            .unwrap();
+        assert_eq!(tick["budget"]["bytes"].as_u64(), Some(65536));
+        assert_eq!(tick["total_estimate"].as_f64(), Some(1.0));
+
+        // Closing the session returns its bytes, so a peer now fits.
+        let closed = client::request(addr, "DELETE", &format!("/sessions/{id}"), None).unwrap();
+        assert_eq!(closed.status, 200);
+        let retry = client::post(
+            addr,
+            "/sessions",
+            r#"{"delta":20,"window":100,"memory_budget":65536}"#,
+        )
+        .unwrap();
+        assert_eq!(retry.status, 201, "{}", retry.text());
+
+        // A malformed budget is a 400, not a reservation.
+        let bad = client::post(
+            addr,
+            "/sessions",
+            r#"{"delta":20,"window":100,"memory_budget":0}"#,
+        )
+        .unwrap();
+        assert_eq!(bad.status, 400, "{}", bad.text());
         server.shutdown_and_wait().unwrap();
     }
 

@@ -34,8 +34,16 @@ OPTIONS:
     --preload NAME[:SCALE]
                         load a registry dataset at startup (repeatable)
     --max-body BYTES    largest accepted request body (default 16 MiB)
-    --max-sessions N    cap on open streaming sessions (default 1024;
-                        creation beyond it answers 429)
+    --max-sessions N    cap on simultaneously open streaming sessions
+                        (default 1024; creation beyond it answers 429).
+                        Bounds session *count* only — pair with
+                        --session-memory-budget to also bound the bytes
+                        budgeted sessions may reserve
+    --session-memory-budget BYTES
+                        daemon-wide byte pool for budgeted sessions
+                        (default unmetered): each session created with a
+                        'memory_budget' reserves its bytes from the pool
+                        (429 when exhausted) and returns them on close
     --io-timeout SECS   per-connection socket timeout (default 30)
     --enable-shutdown   allow POST /shutdown (test mode)
     --help              this text
@@ -90,6 +98,15 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                 cfg.max_sessions = value("--max-sessions")?
                     .parse()
                     .map_err(|e| format!("--max-sessions: {e}"))?
+            }
+            "--session-memory-budget" => {
+                let pool: u64 = value("--session-memory-budget")?
+                    .parse()
+                    .map_err(|e| format!("--session-memory-budget: {e}"))?;
+                if pool == 0 {
+                    return Err("--session-memory-budget must be at least 1 byte".into());
+                }
+                cfg.session_memory_budget = Some(pool);
             }
             "--io-timeout" => {
                 let secs: u64 = value("--io-timeout")?
@@ -266,6 +283,8 @@ mod tests {
             "CollegeMsg:8",
             "--preload",
             "Bitcoinalpha",
+            "--session-memory-budget",
+            "1048576",
             "--enable-shutdown",
         ]))
         .unwrap();
@@ -278,6 +297,7 @@ mod tests {
             cfg.preload,
             vec![("CollegeMsg".into(), 8), ("Bitcoinalpha".into(), 1)]
         );
+        assert_eq!(cfg.session_memory_budget, Some(1_048_576));
         assert!(cfg.enable_shutdown);
     }
 
@@ -287,6 +307,8 @@ mod tests {
         assert!(parse_args(&args(&["--workers", "0"])).is_err());
         assert!(parse_args(&args(&["--queue", "0"])).is_err());
         assert!(parse_args(&args(&["--preload", "CollegeMsg:0"])).is_err());
+        assert!(parse_args(&args(&["--session-memory-budget", "0"])).is_err());
+        assert!(parse_args(&args(&["--session-memory-budget", "abc"])).is_err());
         assert!(parse_args(&args(&["--nope"])).is_err());
         assert_eq!(parse_args(&args(&["--help"])).unwrap_err(), "");
     }

@@ -1,28 +1,48 @@
-//! Streaming ingest sessions: a [`WindowedCounter`] per client stream.
+//! Streaming ingest sessions: a sliding-window engine per client stream.
 //!
-//! A session wraps the exact sliding-window engine behind three verbs:
-//! create (`POST /sessions`), push a batch of edges
-//! (`POST /sessions/{id}/edges`), and poll the live per-tick motif
-//! matrix (`GET /sessions/{id}` — the same body shape as one
-//! `hare-count --window --json` tick, built by
-//! [`hare::report::windowed_tick_body`]). Late and self-loop arrivals
-//! are dropped and counted, never fatal — mirroring the CLI's streaming
-//! drop policy, so a flushed session is byte-identical to the final
-//! tick of the equivalent CLI run.
+//! A session wraps one of two engines behind three verbs — create
+//! (`POST /sessions`), push a batch of edges
+//! (`POST /sessions/{id}/edges`), and poll the live per-tick body
+//! (`GET /sessions/{id}`):
+//!
+//! * **Exact** ([`WindowedCounter`]) — the default: exact live-window
+//!   counts, body shape [`hare::report::windowed_tick_body`], the same
+//!   bytes as one `hare-count --window --json` tick.
+//! * **Budgeted** ([`StreamingEstimator`]) — created with a
+//!   `"memory_budget"` (bytes): the bounded-memory estimator, body
+//!   shape [`hare::report::stream_tick_body`], the same bytes as one
+//!   `hare-count --window --memory-budget --json` tick. Per-session
+//!   budgets are carved out of the daemon-wide pool
+//!   (`--session-memory-budget`), so thousands of concurrent ingest
+//!   sessions run at a fixed total RSS instead of only the count cap.
+//!
+//! Late and self-loop arrivals are dropped and counted, never fatal —
+//! mirroring the CLI's streaming drop policy, so a flushed session is
+//! byte-identical to the final tick of the equivalent CLI run.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
+use hare::stream_sample::{StreamSampleConfig, StreamingEstimator};
 use hare::streaming::StreamError;
 use hare::windowed::WindowedCounter;
 use temporal_graph::{NodeId, Timestamp};
 
+/// The counting engine behind one session.
+#[derive(Debug)]
+pub enum SessionEngine {
+    /// Exact live-window counting (no budget).
+    Exact(Box<WindowedCounter>),
+    /// Bounded-memory estimation under a per-session byte budget.
+    Budget(Box<StreamingEstimator>),
+}
+
 /// One client's streaming state.
 #[derive(Debug)]
 pub struct Session {
-    /// The exact sliding-window counting engine.
-    pub wc: WindowedCounter,
+    /// The sliding-window engine (exact or budgeted).
+    pub engine: SessionEngine,
     /// Arrivals dropped as too late for the reorder slack.
     pub late_dropped: u64,
     /// Self-loop arrivals dropped.
@@ -48,7 +68,11 @@ impl Session {
     pub fn push_edges(&mut self, edges: &[(NodeId, NodeId, Timestamp)]) -> PushOutcome {
         let mut out = PushOutcome::default();
         for &(src, dst, t) in edges {
-            match self.wc.push(src, dst, t) {
+            let pushed = match &mut self.engine {
+                SessionEngine::Exact(wc) => wc.push(src, dst, t),
+                SessionEngine::Budget(est) => est.push(src, dst, t),
+            };
+            match pushed {
                 Ok(()) => {
                     out.accepted += 1;
                     self.max_accepted = Some(self.max_accepted.map_or(t, |m| m.max(t)));
@@ -66,43 +90,151 @@ impl Session {
         out
     }
 
-    /// The session's current tick body: the live-window matrix labelled
-    /// with the largest accepted timestamp (0 before any acceptance).
+    /// Drain the engine's reorder buffer (`POST /sessions/{id}/flush`).
+    pub fn flush(&mut self) {
+        match &mut self.engine {
+            SessionEngine::Exact(wc) => wc.flush(),
+            SessionEngine::Budget(est) => est.flush(),
+        }
+    }
+
+    /// The session's per-session byte budget (`None` for exact
+    /// sessions).
+    #[must_use]
+    pub fn memory_budget(&self) -> Option<u64> {
+        match &self.engine {
+            SessionEngine::Exact(_) => None,
+            SessionEngine::Budget(est) => Some(est.budget_bytes()),
+        }
+    }
+
+    /// The session's current tick body, labelled with the largest
+    /// accepted timestamp (0 before any acceptance). Exact sessions use
+    /// the exact tick shape; budgeted sessions the estimator tick shape
+    /// — each byte-identical to the matching CLI mode.
     #[must_use]
     pub fn tick_body(&self) -> serde_json::Value {
-        hare::report::windowed_tick_body(
-            self.max_accepted.unwrap_or(0),
-            &self.wc,
-            self.late_dropped,
-            self.self_loops_dropped,
-        )
+        let tick = self.max_accepted.unwrap_or(0);
+        match &self.engine {
+            SessionEngine::Exact(wc) => hare::report::windowed_tick_body(
+                tick,
+                wc,
+                self.late_dropped,
+                self.self_loops_dropped,
+            ),
+            SessionEngine::Budget(est) => hare::report::stream_tick_body(
+                tick,
+                est.config().slack,
+                &est.estimates(),
+                self.late_dropped,
+                self.self_loops_dropped,
+            ),
+        }
+    }
+
+    /// The response body of one push batch. Exact sessions report
+    /// `live_edges`; budgeted sessions report their reservoir state
+    /// instead (tracking the exact live count would itself need
+    /// unbounded memory).
+    #[must_use]
+    pub fn push_body(&self, out: PushOutcome) -> serde_json::Value {
+        let mut body = serde_json::json!({
+            "accepted": out.accepted,
+            "late_dropped": out.late_dropped,
+            "self_loops_dropped": out.self_loops_dropped,
+        });
+        if let Some(map) = body.as_object_mut() {
+            match &self.engine {
+                SessionEngine::Exact(wc) => {
+                    map.insert("live_edges".into(), wc.live_edges().into());
+                    map.insert("buffered_edges".into(), wc.buffered_edges().into());
+                }
+                SessionEngine::Budget(est) => {
+                    map.insert("retained_edges".into(), est.retained_edges().into());
+                    map.insert("retained_bytes".into(), est.retained_bytes().into());
+                    map.insert("memory_budget".into(), est.budget_bytes().into());
+                    map.insert("buffered_edges".into(), est.buffered_edges().into());
+                }
+            }
+        }
+        body
     }
 }
 
+/// Creation failure: reserving the requested per-session budget would
+/// overflow the daemon-wide session memory pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolExhausted {
+    /// Bytes the new session asked for.
+    pub requested: u64,
+    /// Bytes still unreserved in the pool.
+    pub available: u64,
+}
+
 /// Thread-safe id → session map. Sessions are independently locked so
-/// concurrent clients never serialise on each other's streams.
+/// concurrent clients never serialise on each other's streams. Budgeted
+/// sessions reserve their bytes from a shared pool at creation and
+/// return them on close.
 #[derive(Default)]
 pub struct SessionStore {
     inner: RwLock<HashMap<u64, Arc<Mutex<Session>>>>,
     next_id: AtomicU64,
     created: AtomicU64,
+    /// Daemon-wide session memory pool in bytes (`None` = unmetered).
+    pool: Option<u64>,
+    /// Bytes currently reserved by open budgeted sessions.
+    reserved: AtomicU64,
 }
 
 impl SessionStore {
-    /// An empty store.
+    /// An empty store with no memory pool (budgeted sessions are
+    /// unmetered).
     #[must_use]
     pub fn new() -> SessionStore {
         SessionStore::default()
     }
 
-    /// Create a session; the caller has validated `window >= delta >= 0`
-    /// and `slack >= 0` (the [`WindowedCounter`] constructor enforces it
-    /// by panic, so validation belongs at the API boundary).
-    pub fn create(&self, delta: Timestamp, window: Timestamp, slack: Timestamp) -> u64 {
+    /// An empty store metering budgeted sessions against `pool` bytes.
+    #[must_use]
+    pub fn with_pool(pool: Option<u64>) -> SessionStore {
+        SessionStore {
+            pool,
+            ..SessionStore::default()
+        }
+    }
+
+    /// Create a session; the caller has validated `window >= delta >= 0`,
+    /// `slack >= 0` and `memory_budget >= 1` (the engine constructors
+    /// enforce them by panic, so validation belongs at the API
+    /// boundary). A `memory_budget` selects the bounded-memory estimator
+    /// engine and reserves that many bytes from the pool.
+    ///
+    /// # Errors
+    /// [`PoolExhausted`] when the requested budget does not fit in the
+    /// pool's unreserved remainder.
+    pub fn create(
+        &self,
+        delta: Timestamp,
+        window: Timestamp,
+        slack: Timestamp,
+        memory_budget: Option<u64>,
+    ) -> Result<u64, PoolExhausted> {
+        let engine = match memory_budget {
+            None => {
+                SessionEngine::Exact(Box::new(WindowedCounter::with_slack(delta, window, slack)))
+            }
+            Some(budget) => {
+                self.reserve(budget)?;
+                SessionEngine::Budget(Box::new(StreamingEstimator::new(StreamSampleConfig {
+                    slack,
+                    ..StreamSampleConfig::new(delta, window, budget)
+                })))
+            }
+        };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         self.created.fetch_add(1, Ordering::Relaxed);
         let session = Session {
-            wc: WindowedCounter::with_slack(delta, window, slack),
+            engine,
             late_dropped: 0,
             self_loops_dropped: 0,
             max_accepted: None,
@@ -111,7 +243,22 @@ impl SessionStore {
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(id, Arc::new(Mutex::new(session)));
-        id
+        Ok(id)
+    }
+
+    /// Atomically reserve `budget` bytes from the pool (no-op when the
+    /// store is unmetered).
+    fn reserve(&self, budget: u64) -> Result<(), PoolExhausted> {
+        let Some(pool) = self.pool else { return Ok(()) };
+        self.reserved
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| {
+                r.checked_add(budget).filter(|&total| total <= pool)
+            })
+            .map(|_| ())
+            .map_err(|r| PoolExhausted {
+                requested: budget,
+                available: pool.saturating_sub(r),
+            })
     }
 
     /// Fetch a session by id.
@@ -124,13 +271,27 @@ impl SessionStore {
             .cloned()
     }
 
-    /// Close a session. Returns `false` when the id is unknown.
+    /// Close a session, returning its reserved budget (if any) to the
+    /// pool. Returns `false` when the id is unknown.
     pub fn remove(&self, id: u64) -> bool {
-        self.inner
+        let removed = self
+            .inner
             .write()
             .unwrap_or_else(PoisonError::into_inner)
-            .remove(&id)
-            .is_some()
+            .remove(&id);
+        match removed {
+            Some(session) => {
+                let budget = session
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .memory_budget();
+                if let Some(b) = budget {
+                    self.reserved.fetch_sub(b, Ordering::Relaxed);
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Ids of the open sessions, sorted.
@@ -161,6 +322,18 @@ impl SessionStore {
     pub fn created_count(&self) -> u64 {
         self.created.load(Ordering::Relaxed)
     }
+
+    /// The daemon-wide session memory pool (`None` = unmetered).
+    #[must_use]
+    pub fn pool_bytes(&self) -> Option<u64> {
+        self.pool
+    }
+
+    /// Bytes currently reserved by open budgeted sessions.
+    #[must_use]
+    pub fn reserved_bytes(&self) -> u64 {
+        self.reserved.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -170,7 +343,7 @@ mod tests {
     #[test]
     fn create_push_poll_close() {
         let store = SessionStore::new();
-        let id = store.create(20, 100, 0);
+        let id = store.create(20, 100, 0, None).unwrap();
         assert_eq!(store.open_count(), 1);
 
         let session = store.get(id).unwrap();
@@ -180,7 +353,7 @@ mod tests {
         assert_eq!(out.self_loops_dropped, 1);
         assert_eq!(out.late_dropped, 1, "t=1 is behind the zero-slack floor");
 
-        s.wc.flush();
+        s.flush();
         let body = s.tick_body();
         assert_eq!(body["tick"].as_i64(), Some(14));
         assert_eq!(body["live_edges"].as_u64(), Some(3));
@@ -196,9 +369,74 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_session_reports_estimator_shape() {
+        let store = SessionStore::new();
+        let id = store.create(20, 100, 0, Some(1 << 20)).unwrap();
+        let session = store.get(id).unwrap();
+        let mut s = session.lock().unwrap();
+        let out = s.push_edges(&[(0, 1, 10), (1, 2, 12), (2, 0, 14)]);
+        assert_eq!(out.accepted, 3);
+        let push_body = s.push_body(out);
+        assert_eq!(push_body["retained_edges"].as_u64(), Some(3));
+        assert_eq!(push_body["memory_budget"].as_u64(), Some(1 << 20));
+        assert!(
+            push_body["live_edges"].as_u64().is_none(),
+            "budget shape has no live_edges"
+        );
+        s.flush();
+        let body = s.tick_body();
+        assert_eq!(body["tick"].as_i64(), Some(14));
+        assert_eq!(body["budget"]["bytes"].as_u64(), Some(1 << 20));
+        assert_eq!(body["budget"]["prob"].as_f64(), Some(1.0));
+        assert_eq!(body["total_estimate"].as_f64(), Some(1.0));
+        assert!(
+            body["total"].as_u64().is_none(),
+            "estimator ticks carry estimates"
+        );
+    }
+
+    #[test]
+    fn pool_reserves_and_releases_budgets() {
+        let store = SessionStore::with_pool(Some(1000));
+        assert_eq!(store.pool_bytes(), Some(1000));
+        let a = store.create(10, 10, 0, Some(600)).unwrap();
+        assert_eq!(store.reserved_bytes(), 600);
+        // Exact sessions never draw from the pool.
+        let _e = store.create(10, 10, 0, None).unwrap();
+        assert_eq!(store.reserved_bytes(), 600);
+        // 600 + 600 > 1000: exhausted, with the remainder reported.
+        let err = store.create(10, 10, 0, Some(600)).unwrap_err();
+        assert_eq!(
+            err,
+            PoolExhausted {
+                requested: 600,
+                available: 400
+            }
+        );
+        // A fitting budget still goes through, then the pool is full.
+        let b = store.create(10, 10, 0, Some(400)).unwrap();
+        assert_eq!(store.reserved_bytes(), 1000);
+        assert!(store.create(10, 10, 0, Some(1)).is_err());
+        // Closing returns bytes to the pool.
+        assert!(store.remove(a));
+        assert_eq!(store.reserved_bytes(), 400);
+        assert!(store.remove(b));
+        assert_eq!(store.reserved_bytes(), 0);
+    }
+
+    #[test]
+    fn unmetered_store_accepts_any_budget() {
+        let store = SessionStore::new();
+        assert_eq!(store.pool_bytes(), None);
+        let id = store.create(10, 10, 0, Some(u64::MAX)).unwrap();
+        assert_eq!(store.reserved_bytes(), 0, "no pool, no accounting");
+        assert!(store.remove(id));
+    }
+
+    #[test]
     fn poisoned_store_lock_recovers() {
         let store = Arc::new(SessionStore::new());
-        let id = store.create(20, 100, 0);
+        let id = store.create(20, 100, 0, None).unwrap();
 
         // Poison the inner RwLock: a thread panics while holding it.
         let poisoner = Arc::clone(&store);
@@ -212,7 +450,7 @@ mod tests {
         // Every verb still works: the map itself was not mid-mutation.
         assert_eq!(store.open_count(), 1);
         assert!(store.get(id).is_some());
-        let id2 = store.create(20, 100, 0);
+        let id2 = store.create(20, 100, 0, None).unwrap();
         assert_eq!(store.ids(), vec![id, id2]);
         assert!(store.remove(id));
         assert!(store.remove(id2));
@@ -222,7 +460,7 @@ mod tests {
     #[test]
     fn poisoned_session_lock_recovers() {
         let store = SessionStore::new();
-        let id = store.create(20, 100, 0);
+        let id = store.create(20, 100, 0, None).unwrap();
         let session = store.get(id).unwrap();
 
         let hostage = Arc::clone(&session);
@@ -241,8 +479,8 @@ mod tests {
     #[test]
     fn ids_are_unique_and_sorted() {
         let store = SessionStore::new();
-        let a = store.create(10, 10, 0);
-        let b = store.create(10, 10, 0);
+        let a = store.create(10, 10, 0, None).unwrap();
+        let b = store.create(10, 10, 0, None).unwrap();
         assert_ne!(a, b);
         assert_eq!(store.ids(), vec![a.min(b), a.max(b)]);
     }
@@ -250,7 +488,7 @@ mod tests {
     #[test]
     fn empty_session_polls_a_zero_tick() {
         let store = SessionStore::new();
-        let id = store.create(10, 50, 5);
+        let id = store.create(10, 50, 5, None).unwrap();
         let session = store.get(id).unwrap();
         let body = session.lock().unwrap().tick_body();
         assert_eq!(body["tick"].as_i64(), Some(0));

@@ -336,6 +336,142 @@ fn streaming_session_flush_matches_cli_final_tick() {
 }
 
 #[test]
+fn budgeted_session_flush_matches_cli_memory_budget_final_tick() {
+    // Same stream as the exact session test, now through the
+    // bounded-memory estimator: a roomy budget (everything retained,
+    // exact path) and a 2-edge budget (adaptive halving engaged). The
+    // flushed session must reproduce the CLI's final tick bytes in both
+    // regimes. Session engines are seeded with the library default
+    // (0x5EED = 24301), so the CLI run pins the same seed.
+    let edges = "0 1 100\n5 5 200\n1 2 95\n2 0 103\n3 4 10\n";
+    let dir = std::env::temp_dir().join(format!("hare_serve_budget_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream.txt");
+    std::fs::write(&path, edges).unwrap();
+
+    let server = ServeProc::spawn(&[]);
+    for budget in ["1048576", "32"] {
+        let cli = hare_count(&[
+            "--input",
+            path.to_str().unwrap(),
+            "--delta",
+            "20",
+            "--window",
+            "50",
+            "--slack",
+            "10",
+            "--memory-budget",
+            budget,
+            "--seed",
+            "24301",
+            "--json",
+        ]);
+        let cli_stdout = String::from_utf8(cli.stdout).unwrap();
+        let final_tick = cli_stdout.lines().last().expect("at least one tick");
+
+        let created = server.post(
+            "/sessions",
+            &format!(r#"{{"delta":20,"window":50,"slack":10,"memory_budget":{budget}}}"#),
+        );
+        assert_eq!(created.status, 201, "{}", created.text());
+        let cv = created.json().unwrap();
+        assert_eq!(cv["memory_budget"].as_u64(), budget.parse().ok());
+        let id = cv["session"].as_u64().unwrap();
+
+        let push = server.post(
+            &format!("/sessions/{id}/edges"),
+            r#"{"edges":[[0,1,100],[5,5,200],[1,2,95],[2,0,103],[3,4,10]]}"#,
+        );
+        assert_eq!(push.status, 200);
+        let pv = push.json().unwrap();
+        assert_eq!(pv["accepted"].as_u64(), Some(3));
+        assert_eq!(pv["late_dropped"].as_u64(), Some(1));
+        assert_eq!(pv["self_loops_dropped"].as_u64(), Some(1));
+        assert_eq!(pv["memory_budget"].as_u64(), budget.parse().ok());
+
+        let flushed = server.post(&format!("/sessions/{id}/flush"), "");
+        assert_eq!(flushed.status, 200);
+        assert_eq!(
+            flushed.text().trim_end(),
+            final_tick,
+            "budget={budget}: flushed session != CLI final tick"
+        );
+        // Polling after flush reproduces the same estimator-shaped body.
+        let polled = server.get(&format!("/sessions/{id}"));
+        assert_eq!(polled.status, 200);
+        assert_eq!(polled.body, flushed.body, "poll after flush drifted");
+    }
+
+    std::fs::remove_file(&path).ok();
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn session_memory_pool_backpressures_and_rejects_bad_budgets() {
+    let server = ServeProc::spawn(&["--session-memory-budget", "1000"]);
+    // Invalid budgets are structured 400s.
+    for bad in [
+        r#"{"delta":10,"window":10,"memory_budget":0}"#,
+        r#"{"delta":10,"window":10,"memory_budget":-5}"#,
+        r#"{"delta":10,"window":10,"memory_budget":"lots"}"#,
+    ] {
+        let resp = server.post("/sessions", bad);
+        assert_eq!(resp.status, 400, "{bad}: {}", resp.text());
+        let v = resp.json().unwrap();
+        assert!(
+            v["error"]["message"]
+                .as_str()
+                .unwrap()
+                .contains("memory_budget"),
+            "{bad}: {}",
+            resp.text()
+        );
+    }
+    // Exact sessions never draw from the pool.
+    let exact = server.post("/sessions", r#"{"delta":10,"window":10}"#);
+    assert_eq!(exact.status, 201, "{}", exact.text());
+    // 600 fits; the second 600 exhausts the 1000-byte pool.
+    let first = server.post(
+        "/sessions",
+        r#"{"delta":10,"window":10,"memory_budget":600}"#,
+    );
+    assert_eq!(first.status, 201, "{}", first.text());
+    let over = server.post(
+        "/sessions",
+        r#"{"delta":10,"window":10,"memory_budget":600}"#,
+    );
+    assert_eq!(over.status, 429, "{}", over.text());
+    let ov = over.json().unwrap();
+    assert!(
+        ov["error"]["message"]
+            .as_str()
+            .unwrap()
+            .contains("memory pool exhausted"),
+        "{}",
+        over.text()
+    );
+    let stats = server.get("/stats").json().unwrap();
+    assert_eq!(stats["sessions"]["memory_pool"].as_u64(), Some(1000));
+    assert_eq!(stats["sessions"]["memory_reserved"].as_u64(), Some(600));
+    // Closing the budgeted session returns its bytes to the pool.
+    let id = first.json().unwrap()["session"].as_u64().unwrap();
+    let closed = client::request(
+        server.addr.as_str(),
+        "DELETE",
+        &format!("/sessions/{id}"),
+        None,
+    )
+    .expect("DELETE");
+    assert_eq!(closed.status, 200);
+    let retry = server.post(
+        "/sessions",
+        r#"{"delta":10,"window":10,"memory_budget":1000}"#,
+    );
+    assert_eq!(retry.status, 201, "{}", retry.text());
+    server.shutdown_and_wait();
+}
+
+#[test]
 fn node_profile_bodies_are_byte_identical_to_cli() {
     // `hare-count --nodes --json` emits one line per participating
     // node; each `/nodes/{id}/motifs` body must be byte-identical to
