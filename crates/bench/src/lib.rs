@@ -9,6 +9,7 @@
 //! | `exp_approx`  | Accuracy-vs-speedup sweep of the sampling estimator |
 //! | `exp_stream`  | Bounded-memory streaming estimator battery (`BENCH_STREAM_<n>.json`) |
 //! | `exp_serve`   | `hare-serve` latency/throughput (cold vs cache hit) |
+//! | `exp_obs`     | Probe-seam overhead battery (`BENCH_OBS_<n>.json`) |
 //! | `exp_table2`  | Table II — dataset statistics |
 //! | `exp_fig9`    | Fig. 9 — WikiTalk degree skew & per-node cost |
 //! | `exp_fig10`   | Fig. 10 — FAST vs EX count matrices |
@@ -195,6 +196,46 @@
 //!   served bytes equal the library-rendered `hare::report` body, cache
 //!   hits return identical bytes, and `p = 1.0` approximate estimates
 //!   equal the exact counts — so CI fails on correctness drift.
+//!
+//! ## Observability-overhead snapshot schema (`exp_obs`)
+//!
+//! `exp_obs` times the same CollegeMsg FAST workload in three modes —
+//! unprobed, [`hare::NoopProbe`], and the wall-clock
+//! [`hare::WallClockProbe`] — interleaved round-robin, after asserting
+//! the three count matrices are bit-identical. Schema
+//! `hare-bench/obs/v1` (default `BENCH_OBS.json`; override with
+//! `--out`):
+//!
+//! ```json
+//! {
+//!   "schema": "hare-bench/obs/v1",
+//!   "dataset": "CollegeMsg", "scale": 1, "delta": 600,
+//!   "quick": false, "samples": 30,
+//!   "workload": "full_collegemsg_s1/fast/600",
+//!   "baseline": { "file": "BENCH_PERF_8.json",
+//!                 "name": "full_collegemsg_s1/fast/600",
+//!                 "min_s": 0.00115, "median_s": 0.00127 },
+//!   "rows": [
+//!     { "mode": "unprobed", "mean_s": 0.00121, "min_s": 0.00115,
+//!       "median_s": 0.00119, "samples": 30,
+//!       "overhead_vs_unprobed": 0.0 }
+//!   ],
+//!   "phases": [ { "phase": "scan", "total_us": 1100, "spans": 1 } ],
+//!   "rss_bytes": 4898816
+//! }
+//! ```
+//!
+//! * `overhead_vs_unprobed` — `min_s / unprobed.min_s - 1`, computed on
+//!   min-of-samples (the least-interrupted iteration). Full runs gate
+//!   the no-op probe at ≤ 2% and the timing probe at ≤ 5%; `--quick`
+//!   (the CI obs-smoke configuration) still asserts bit-identity but
+//!   skips the overhead gates, which need release-built quiet hardware.
+//! * `baseline` — the PR 8 perf snapshot's FAST row for the same
+//!   workload when `--baseline` (default `BENCH_PERF_8.json`) is on
+//!   disk; recorded for trajectory context, never gated on (absolute
+//!   seconds from another session are not comparable).
+//! * `phases` — the timing probe's per-phase totals from the
+//!   correctness pass (`scan`/`fold` for in-RAM FAST).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

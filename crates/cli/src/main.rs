@@ -49,6 +49,12 @@ OPTIONS:
                         chunk. Bit-identical to in-RAM counting. Exact
                         all-motif mode only (no --only/--window/
                         --approx/--stats/--nodes)
+    --profile           print a per-phase kernel timing table (scan /
+                        fold / chunk_load / summarise) to stderr after
+                        counting. stdout stays byte-identical to the
+                        unprofiled run — the probe only observes phase
+                        boundaries. Exact, --approx and --chunk-budget
+                        modes (no --window/--stats/--nodes)
     --help              this text
 
 APPROXIMATE (interval-sampling) MODE:
@@ -128,6 +134,7 @@ struct Opts {
     lanes: String,
     chunk_budget: Option<usize>,
     memory_budget: Option<u64>,
+    profile: bool,
 }
 
 fn parse_lanes(name: &str) -> Result<temporal_graph::LaneLayout, String> {
@@ -164,6 +171,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         lanes: "raw".into(),
         chunk_budget: None,
         memory_budget: None,
+        profile: false,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -261,6 +269,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                         .map_err(|e| format!("--memory-budget: {e}"))?,
                 )
             }
+            "--profile" => o.profile = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -392,6 +401,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 "--chunk-budget is exclusive with --only/--window/--approx/--stats/--nodes".into(),
             );
         }
+    }
+    if o.profile && (o.window.is_some() || o.stats || o.nodes) {
+        return Err("--profile is not supported with --window/--stats/--nodes".into());
     }
     Ok(o)
 }
@@ -613,8 +625,17 @@ fn run_approx(
         threads: o.threads,
     });
     let start = std::time::Instant::now();
-    let est = counter.count(graph, delta);
+    // The probe is observation-only: the profiled estimate is
+    // bit-identical to the unprofiled one (pinned end-to-end).
+    let probe = o.profile.then(hare::WallClockProbe::new);
+    let est = match &probe {
+        Some(p) => counter.count_probed(graph, delta, p),
+        None => counter.count(graph, delta),
+    };
     let secs = start.elapsed().as_secs_f64();
+    if let Some(p) = &probe {
+        eprint!("{}", p.render_table());
+    }
 
     if o.json {
         let body = hare::report::approx_body(
@@ -796,6 +817,10 @@ fn run(o: &Opts) -> Result<(), String> {
         return run_approx(o, &graph, &stats, delta);
     }
     let start = std::time::Instant::now();
+    // `--profile` threads a wall-clock probe through the kernel's phase
+    // seams; the probe only observes boundaries, so the matrix — and
+    // therefore stdout — is bit-identical to the unprofiled run.
+    let probe = o.profile.then(hare::WallClockProbe::new);
     let matrix = if let Some(budget) = o.chunk_budget {
         // Out-of-core path: stream delta-haloed chunks under the budget.
         // Counter addition is commutative, so the matrix (and therefore
@@ -806,8 +831,11 @@ fn run(o: &Opts) -> Result<(), String> {
             budget_bytes: budget,
             lane_layout: layout,
         };
-        let (counts, _stats) =
-            hare::count_motifs_ooc(&src, cfg).map_err(|e| format!("out-of-core counting: {e}"))?;
+        let (counts, _stats) = match &probe {
+            Some(p) => hare::count_motifs_ooc_probed(&src, cfg, p),
+            None => hare::count_motifs_ooc(&src, cfg),
+        }
+        .map_err(|e| format!("out-of-core counting: {e}"))?;
         counts.matrix
     } else {
         let engine = Hare::new(HareConfig {
@@ -815,9 +843,15 @@ fn run(o: &Opts) -> Result<(), String> {
             ..HareConfig::default()
         });
         let only = hare::report::parse_only(&o.only).expect("validated in parse_args");
-        engine.count_matrix(&graph, delta, only)
+        match &probe {
+            Some(p) => engine.count_matrix_probed(&graph, delta, only, p),
+            None => engine.count_matrix(&graph, delta, only),
+        }
     };
     let secs = start.elapsed().as_secs_f64();
+    if let Some(p) = &probe {
+        eprint!("{}", p.render_table());
+    }
 
     if o.json {
         // Timing is the one nondeterministic field; --no-timing omits
@@ -1244,6 +1278,66 @@ mod tests {
     fn no_timing_flag_parses() {
         let o = parse_args(&args(&["--input", "x", "--delta", "1", "--no-timing"])).unwrap();
         assert!(o.no_timing);
+    }
+
+    #[test]
+    fn profile_flag_parses_and_composes() {
+        let o = parse_args(&args(&["--input", "x", "--delta", "1", "--profile"])).unwrap();
+        assert!(o.profile);
+        // Composes with the approx and out-of-core engines.
+        assert!(parse_args(&args(&[
+            "--input",
+            "x",
+            "--delta",
+            "1",
+            "--approx",
+            "--profile"
+        ]))
+        .is_ok());
+        assert!(parse_args(&args(&[
+            "--input",
+            "x",
+            "--delta",
+            "1",
+            "--chunk-budget",
+            "4096",
+            "--profile",
+        ]))
+        .is_ok());
+        // Rejected where no probed seam is wired.
+        for extra in [
+            ["--window", "5"].as_slice(),
+            ["--stats"].as_slice(),
+            ["--nodes"].as_slice(),
+        ] {
+            let mut v = args(&["--input", "x", "--delta", "1", "--profile"]);
+            v.extend(extra.iter().map(|s| (*s).to_string()));
+            let e = parse_args(&v).unwrap_err();
+            assert!(e.contains("--profile"), "{extra:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn profiled_run_executes_on_registry_dataset() {
+        for extra in [
+            vec![],
+            vec!["--approx", "--prob", "0.5"],
+            vec!["--chunk-budget", "65536"],
+        ] {
+            let mut a = vec![
+                "--dataset",
+                "CollegeMsg",
+                "--scale",
+                "8",
+                "--delta",
+                "600",
+                "--profile",
+                "--json",
+            ];
+            a.extend(extra);
+            let o = parse_args(&args(&a)).unwrap();
+            run(&o).unwrap();
+        }
     }
 
     #[test]

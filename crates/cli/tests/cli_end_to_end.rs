@@ -914,6 +914,76 @@ fn golden_memory_budget_collegemsg_jsonl_is_byte_identical() {
 }
 
 #[test]
+fn profile_mode_stdout_is_byte_identical_and_table_on_stderr() {
+    // `--profile` is pure observability: the per-phase table goes to
+    // stderr and stdout must not move by a byte — across the in-RAM
+    // exact kernel, the out-of-core path, and the sampling estimator,
+    // on both the Fig. 1 toy and CollegeMsg:8.
+    let fig1 = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/fig1.txt");
+    let cases: &[(&[&str], &str)] = &[
+        (&["--input", fig1, "--delta", "10"], "scan"),
+        (
+            &["--dataset", "CollegeMsg", "--scale", "8", "--delta", "600"],
+            "scan",
+        ),
+        (
+            &[
+                "--dataset",
+                "CollegeMsg",
+                "--scale",
+                "8",
+                "--delta",
+                "600",
+                "--chunk-budget",
+                "16384",
+            ],
+            "chunk_load",
+        ),
+        (
+            &[
+                "--dataset",
+                "CollegeMsg",
+                "--scale",
+                "8",
+                "--delta",
+                "600",
+                "--approx",
+                "--prob",
+                "0.5",
+                "--seed",
+                "7",
+            ],
+            "scan",
+        ),
+    ];
+    for (base, phase) in cases {
+        let plain: Vec<&str> = base
+            .iter()
+            .copied()
+            .chain(["--json", "--no-timing"])
+            .collect();
+        let profiled: Vec<&str> = plain.iter().copied().chain(["--profile"]).collect();
+        let plain = hare_count(&plain);
+        let profiled = hare_count(&profiled);
+        assert!(
+            plain.status.success() && profiled.status.success(),
+            "{base:?}: {}",
+            String::from_utf8_lossy(&profiled.stderr)
+        );
+        assert_eq!(
+            plain.stdout,
+            profiled.stdout,
+            "{base:?}: --profile moved stdout:\n got: {}\nwant: {}",
+            stdout_of(&profiled),
+            stdout_of(&plain)
+        );
+        let err = String::from_utf8(profiled.stderr).unwrap();
+        assert!(err.contains("phase"), "{base:?}: no table header:\n{err}");
+        assert!(err.contains(phase), "{base:?}: no {phase} row:\n{err}");
+    }
+}
+
+#[test]
 fn memory_budget_flag_combinations_are_rejected() {
     let data = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/fig1.txt");
     let cases: &[(&[&str], &str)] = &[

@@ -27,6 +27,7 @@
 
 use crate::counters::{PairCounter, StarCounter, TriCounter};
 use crate::scratch::NeighborScratch;
+use hare_obs::{NoopProbe, Phase, Probe};
 use temporal_graph::{NodeId, TemporalGraph, Timestamp, TsLane, TsRead};
 
 /// Count star, pair and triangle motifs centered at `u` in one scan,
@@ -248,34 +249,52 @@ pub fn count_node_all(
 /// and are folded into the counter structures exactly once.
 #[must_use]
 pub fn fused_all(g: &TemporalGraph, delta: Timestamp) -> (StarCounter, PairCounter, TriCounter) {
+    fused_all_probed(g, delta, &NoopProbe)
+}
+
+/// [`fused_all`] with a [`Probe`] observing its phase boundaries:
+/// [`Phase::Scan`] wraps the per-node window scans, [`Phase::Fold`]
+/// wraps the flat-accumulator fold. With [`NoopProbe`] this
+/// monomorphizes to exactly [`fused_all`] — counts are bit-identical
+/// across probe implementations by construction.
+#[must_use]
+pub fn fused_all_probed<P: Probe>(
+    g: &TemporalGraph,
+    delta: Timestamp,
+    probe: &P,
+) -> (StarCounter, PairCounter, TriCounter) {
     let mut star_acc = [0u64; 24];
     let mut pair_acc = [0u64; 8];
     let mut tri_acc = [0u64; 24];
-    crate::scratch::with_thread_scratch(g.num_nodes(), |scratch| {
-        for u in g.node_ids() {
-            let len = g.node_events(u).len();
-            if len < 2 {
-                continue; // no (e1, e3) window can open
+    probe.span(Phase::Scan, || {
+        crate::scratch::with_thread_scratch(g.num_nodes(), |scratch| {
+            for u in g.node_ids() {
+                let len = g.node_events(u).len();
+                if len < 2 {
+                    continue; // no (e1, e3) window can open
+                }
+                count_node_all_into(
+                    g,
+                    u,
+                    0..len,
+                    delta,
+                    scratch,
+                    &mut star_acc,
+                    &mut pair_acc,
+                    &mut tri_acc,
+                );
             }
-            count_node_all_into(
-                g,
-                u,
-                0..len,
-                delta,
-                scratch,
-                &mut star_acc,
-                &mut pair_acc,
-                &mut tri_acc,
-            );
-        }
+        });
     });
-    let mut star = StarCounter::default();
-    let mut pair = PairCounter::default();
-    let mut tri = TriCounter::default();
-    star.add_flat(&star_acc);
-    pair.add_flat(&pair_acc);
-    tri.add_flat(&tri_acc);
-    (star, pair, tri)
+    probe.span(Phase::Fold, || {
+        let mut star = StarCounter::default();
+        let mut pair = PairCounter::default();
+        let mut tri = TriCounter::default();
+        star.add_flat(&star_acc);
+        pair.add_flat(&pair_acc);
+        tri.add_flat(&tri_acc);
+        (star, pair, tri)
+    })
 }
 
 #[cfg(test)]

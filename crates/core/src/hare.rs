@@ -48,6 +48,7 @@ use crate::fast_star::count_node_star_pair_range;
 use crate::fast_tri::count_node_tri_range;
 use crate::fused::count_node_all_range;
 use crate::scratch::with_thread_scratch as with_scratch;
+use hare_obs::{NoopProbe, Phase, Probe};
 use temporal_graph::{stats, NodeId, TemporalGraph, Timestamp};
 
 /// Below this many events (`2|E|`) a graph runs sequentially regardless
@@ -203,8 +204,26 @@ impl Hare {
     /// schedule) and fold into the canonical grid.
     #[must_use]
     pub fn count_all(&self, g: &TemporalGraph, delta: Timestamp) -> MotifCounts {
-        let (star, pair, tri) = self.run(g, delta, Work::All);
-        MotifCounts::from_center_counters(star, pair, tri)
+        self.count_all_probed(g, delta, &NoopProbe)
+    }
+
+    /// [`Hare::count_all`] with a [`Probe`] observing the engine's
+    /// phase boundaries: [`Phase::Scan`] wraps the scheduled kernel
+    /// scans, [`Phase::Fold`] wraps the counter → grid fold. The probe
+    /// stays on the calling thread (spans bracket whole parallel
+    /// sections), and counts are bit-identical across probe
+    /// implementations.
+    #[must_use]
+    pub fn count_all_probed<P: Probe>(
+        &self,
+        g: &TemporalGraph,
+        delta: Timestamp,
+        probe: &P,
+    ) -> MotifCounts {
+        let (star, pair, tri) = probe.span(Phase::Scan, || self.run(g, delta, Work::All));
+        probe.span(Phase::Fold, || {
+            MotifCounts::from_center_counters(star, pair, tri)
+        })
     }
 
     /// *Approximately* count all 36 motifs by interval sampling
@@ -242,27 +261,48 @@ impl Hare {
         delta: Timestamp,
         only: Option<crate::MotifCategory>,
     ) -> crate::MotifMatrix {
+        self.count_matrix_probed(g, delta, only, &NoopProbe)
+    }
+
+    /// [`Hare::count_matrix`] with a [`Probe`] observing the phase
+    /// boundaries ([`Phase::Scan`] around each arm's kernel run,
+    /// [`Phase::Fold`] around the grid fold). Bit-identical to
+    /// [`Hare::count_matrix`] for every probe implementation.
+    #[must_use]
+    pub fn count_matrix_probed<P: Probe>(
+        &self,
+        g: &TemporalGraph,
+        delta: Timestamp,
+        only: Option<crate::MotifCategory>,
+        probe: &P,
+    ) -> crate::MotifMatrix {
         use crate::MotifCategory;
         match only {
             Some(MotifCategory::Pair) => {
-                let pc = self.count_pair(g, delta);
-                let mut mx = crate::MotifMatrix::default();
-                pc.add_to_matrix_pair_based(&mut mx);
-                mx
+                let pc = probe.span(Phase::Scan, || self.count_pair(g, delta));
+                probe.span(Phase::Fold, || {
+                    let mut mx = crate::MotifMatrix::default();
+                    pc.add_to_matrix_pair_based(&mut mx);
+                    mx
+                })
             }
             Some(MotifCategory::Triangle) => {
-                let tc = self.count_tri(g, delta);
-                let mut mx = crate::MotifMatrix::default();
-                tc.add_to_matrix(&mut mx);
-                mx
+                let tc = probe.span(Phase::Scan, || self.count_tri(g, delta));
+                probe.span(Phase::Fold, || {
+                    let mut mx = crate::MotifMatrix::default();
+                    tc.add_to_matrix(&mut mx);
+                    mx
+                })
             }
             Some(MotifCategory::Star) => {
-                let (sc, _) = self.count_star_pair(g, delta);
-                let mut mx = crate::MotifMatrix::default();
-                sc.add_to_matrix(&mut mx);
-                mx
+                let (sc, _) = probe.span(Phase::Scan, || self.count_star_pair(g, delta));
+                probe.span(Phase::Fold, || {
+                    let mut mx = crate::MotifMatrix::default();
+                    sc.add_to_matrix(&mut mx);
+                    mx
+                })
             }
-            None => self.count_all(g, delta).matrix,
+            None => self.count_all_probed(g, delta, probe).matrix,
         }
     }
 

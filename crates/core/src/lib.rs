@@ -94,10 +94,11 @@ pub use fingerprint::{
     node_profiles, rank_by_zscore, top_k_nodes, NodeProfile, NodeProfiles, ProfileDistribution,
 };
 pub use hare::{DegreeThreshold, Hare, HareConfig, Scheduling};
+pub use hare_obs::{NoopProbe, Phase, Probe, WallClockProbe};
 pub use motif::{Motif, MotifCategory, StarType, TriType};
 pub use ooc::{
-    count_motifs_ooc, node_profiles_ooc, EdgeSource, InMemorySource, LaneFileSource, OocConfig,
-    OocStats,
+    count_motifs_ooc, count_motifs_ooc_probed, node_profiles_ooc, EdgeSource, InMemorySource,
+    LaneFileSource, OocConfig, OocStats,
 };
 pub use sample::{MotifEstimate, SampleConfig, SampledCounter, SampledCounts};
 pub use scratch::NeighborScratch;
@@ -112,8 +113,23 @@ use temporal_graph::{TemporalGraph, Timestamp};
 /// the parallel framework.
 #[must_use]
 pub fn count_motifs(g: &TemporalGraph, delta: Timestamp) -> MotifCounts {
-    let (star, pair, tri) = fused::fused_all(g, delta);
-    MotifCounts::from_center_counters(star, pair, tri)
+    count_motifs_probed(g, delta, &NoopProbe)
+}
+
+/// [`count_motifs`] with a [`Probe`] observing the kernel's phase
+/// boundaries ([`Phase::Scan`] / [`Phase::Fold`]). Counts are
+/// bit-identical across probe implementations: the probe only wraps
+/// phases, it never participates in them.
+#[must_use]
+pub fn count_motifs_probed<P: Probe>(
+    g: &TemporalGraph,
+    delta: Timestamp,
+    probe: &P,
+) -> MotifCounts {
+    let (star, pair, tri) = fused::fused_all_probed(g, delta, probe);
+    probe.span(Phase::Fold, || {
+        MotifCounts::from_center_counters(star, pair, tri)
+    })
 }
 
 /// Count only the four pair motifs sequentially (the paper's "FAST-Pair")

@@ -35,6 +35,7 @@ use std::io;
 use crate::counters::{MotifCounts, PairCounter, StarCounter, TriCounter};
 use crate::fingerprint::{fold_counters, NodeProfile, NodeProfiles};
 use crate::scratch::NeighborScratch;
+use hare_obs::{NoopProbe, Phase, Probe};
 use temporal_graph::ooc::LaneFile;
 use temporal_graph::{LaneLayout, TemporalEdge, TemporalGraph, Timestamp};
 
@@ -254,9 +255,10 @@ fn plan_cut(
 
 /// Drive `per_chunk` over the planned chunk graphs. `per_chunk` gets the
 /// chunk graph plus the `[lo, hi)` first-edge time range it owns.
-fn drive_chunks(
+fn drive_chunks<P: Probe>(
     src: &impl EdgeSource,
     config: OocConfig,
+    probe: &P,
     mut per_chunk: impl FnMut(&TemporalGraph, Timestamp, Timestamp),
 ) -> io::Result<OocStats> {
     let mut stats = OocStats {
@@ -272,16 +274,20 @@ fn drive_chunks(
     loop {
         let (hi, forced) = plan_cut(src, lo, max_t, config.delta, config.budget_bytes)?;
         stats.forced_cuts += usize::from(forced);
-        let halo = src.load_range(
-            lo.saturating_sub(config.delta),
-            hi.saturating_add(config.delta),
-        )?;
-        let g = TemporalGraph::from_chronological_edges(src.num_nodes(), halo)
-            .into_lane_layout(config.lane_layout);
+        let g = probe.span(Phase::ChunkLoad, || -> io::Result<TemporalGraph> {
+            let halo = src.load_range(
+                lo.saturating_sub(config.delta),
+                hi.saturating_add(config.delta),
+            )?;
+            Ok(
+                TemporalGraph::from_chronological_edges(src.num_nodes(), halo)
+                    .into_lane_layout(config.lane_layout),
+            )
+        })?;
         stats.chunks += 1;
         stats.peak_resident_lane_bytes =
             stats.peak_resident_lane_bytes.max(g.resident_lane_bytes());
-        per_chunk(&g, lo, hi);
+        probe.span(Phase::Scan, || per_chunk(&g, lo, hi));
         if hi > max_t {
             return Ok(stats);
         }
@@ -307,11 +313,24 @@ pub fn count_motifs_ooc(
     src: &impl EdgeSource,
     config: OocConfig,
 ) -> io::Result<(MotifCounts, OocStats)> {
+    count_motifs_ooc_probed(src, config, &NoopProbe)
+}
+
+/// [`count_motifs_ooc`] with a [`Probe`] observing the phase
+/// boundaries: [`Phase::ChunkLoad`] wraps each chunk's load + arena
+/// build, [`Phase::Scan`] wraps its kernel pass, [`Phase::Fold`] wraps
+/// the final counter fold. Counts and stats are bit-identical across
+/// probe implementations.
+pub fn count_motifs_ooc_probed<P: Probe>(
+    src: &impl EdgeSource,
+    config: OocConfig,
+    probe: &P,
+) -> io::Result<(MotifCounts, OocStats)> {
     let mut star_acc = [0u64; 24];
     let mut pair_acc = [0u64; 8];
     let mut tri_acc = [0u64; 24];
     let mut scratch = NeighborScratch::new(src.num_nodes());
-    let stats = drive_chunks(src, config, |g, lo, hi| {
+    let stats = drive_chunks(src, config, probe, |g, lo, hi| {
         for u in g.node_ids() {
             if g.node_events(u).len() < 2 {
                 continue;
@@ -332,13 +351,16 @@ pub fn count_motifs_ooc(
             );
         }
     })?;
-    let mut star = StarCounter::default();
-    let mut pair = PairCounter::default();
-    let mut tri = TriCounter::default();
-    star.add_flat(&star_acc);
-    pair.add_flat(&pair_acc);
-    tri.add_flat(&tri_acc);
-    Ok((MotifCounts::from_center_counters(star, pair, tri), stats))
+    let counts = probe.span(Phase::Fold, || {
+        let mut star = StarCounter::default();
+        let mut pair = PairCounter::default();
+        let mut tri = TriCounter::default();
+        star.add_flat(&star_acc);
+        pair.add_flat(&pair_acc);
+        tri.add_flat(&tri_acc);
+        MotifCounts::from_center_counters(star, pair, tri)
+    });
+    Ok((counts, stats))
 }
 
 /// Sparse per-node motif profiles computed out of core. Bit-identical
@@ -353,7 +375,7 @@ pub fn node_profiles_ooc(
     let num_nodes = src.num_nodes();
     let mut dense: Vec<NodeProfile> = vec![NodeProfile::default(); num_nodes];
     let mut scratch = NeighborScratch::new(num_nodes);
-    let stats = drive_chunks(src, config, |g, lo, hi| {
+    let stats = drive_chunks(src, config, &NoopProbe, |g, lo, hi| {
         for u in g.node_ids() {
             if g.node_events(u).len() < 2 {
                 continue;

@@ -50,6 +50,7 @@ use rayon::prelude::*;
 use crate::counters::{MotifCounts, MotifMatrix, PairCounter, StarCounter, TriCounter};
 use crate::motif::{pair_motif, star_motif, tri_motif, Motif, StarType, TriType};
 use crate::scratch::with_thread_scratch;
+use hare_obs::{NoopProbe, Phase, Probe};
 use temporal_graph::{Dir, TemporalGraph, Timestamp, WindowSlices};
 
 /// Configuration of the interval-sampling estimator.
@@ -255,6 +256,21 @@ impl SampledCounter {
     /// results.
     #[must_use]
     pub fn count(&self, g: &TemporalGraph, delta: Timestamp) -> SampledCounts {
+        self.count_probed(g, delta, &NoopProbe)
+    }
+
+    /// [`SampledCounter::count`] with a [`Probe`] observing the phase
+    /// boundaries: [`Phase::Scan`] wraps the per-window tally drivers,
+    /// [`Phase::Summarise`] wraps the deterministic reduction and CI
+    /// construction. Estimates are bit-identical across probe
+    /// implementations.
+    #[must_use]
+    pub fn count_probed<P: Probe>(
+        &self,
+        g: &TemporalGraph,
+        delta: Timestamp,
+        probe: &P,
+    ) -> SampledCounts {
         let window_len = delta.max(0).saturating_mul(self.cfg.window_factor).max(1);
         let windows_total =
             temporal_graph::slices::scan_header(g, window_len).map_or(0, |(_, n)| n);
@@ -268,32 +284,50 @@ impl SampledCounter {
         // is kept only when the window count is within a small multiple
         // of |E| — the common case, where it beats hashing.
         let dense = windows_total <= g.num_edges().saturating_mul(2).max(4096);
-        let tallies: Vec<WindowTally> = if self.effective_threads() <= 1 {
-            if dense {
-                self.tally_sequential_dense(g, delta, window_len, windows_total)
+        let tallies: Vec<WindowTally> = probe.span(Phase::Scan, || {
+            if self.effective_threads() <= 1 {
+                if dense {
+                    self.tally_sequential_dense(g, delta, window_len, windows_total)
+                } else {
+                    self.tally_sequential_sparse(g, delta, window_len)
+                }
             } else {
-                self.tally_sequential_sparse(g, delta, window_len)
+                // Parallel: materialise the window-major index once (it is
+                // sparse — O(runs)), then schedule one task per active kept
+                // window; the rayon map keeps item (window) order.
+                let slices = WindowSlices::build_filtered(g, window_len, |k| {
+                    window_kept(seed, k as u64, prob)
+                });
+                // hare-lint: allow(alloc, reason = "per-estimate setup: one Vec of active window ids")
+                let active: Vec<usize> = slices.active_windows().collect();
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(self.cfg.threads)
+                    .build()
+                    .expect("failed to build rayon thread pool")
+                    .install(|| {
+                        active
+                            .into_par_iter()
+                            .map(|k| tally_window(g, &slices, k, delta))
+                            // hare-lint: allow(alloc, reason = "per-estimate result: one tally per sampled window")
+                            .collect()
+                    })
             }
-        } else {
-            // Parallel: materialise the window-major index once (it is
-            // sparse — O(runs)), then schedule one task per active kept
-            // window; the rayon map keeps item (window) order.
-            let slices =
-                WindowSlices::build_filtered(g, window_len, |k| window_kept(seed, k as u64, prob));
-            // hare-lint: allow(alloc, reason = "per-estimate setup: one Vec of active window ids")
-            let active: Vec<usize> = slices.active_windows().collect();
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(self.cfg.threads)
-                .build()
-                .expect("failed to build rayon thread pool")
-                .install(|| {
-                    active
-                        .into_par_iter()
-                        .map(|k| tally_window(g, &slices, k, delta))
-                        // hare-lint: allow(alloc, reason = "per-estimate result: one tally per sampled window")
-                        .collect()
-                })
-        };
+        });
+        probe.span(Phase::Summarise, || {
+            self.summarise(delta, window_len, windows_total, &tallies)
+        })
+    }
+
+    /// Deterministic reduction of per-window tallies into estimates,
+    /// CIs, and (at `p = 1`) the exact grid — the [`Phase::Summarise`]
+    /// half of [`SampledCounter::count_probed`].
+    fn summarise(
+        &self,
+        delta: Timestamp,
+        window_len: Timestamp,
+        windows_total: usize,
+        tallies: &[WindowTally],
+    ) -> SampledCounts {
         let windows_sampled = tallies.iter().filter(|t| t.touched).count();
 
         // Deterministic reduction in window order: u64 flat totals for
@@ -302,7 +336,7 @@ impl SampledCounter {
         let tables = FoldTables::new();
         let mut total = WindowTally::default();
         let mut sum_sq = [0.0f64; 36];
-        for t in &tallies {
+        for t in tallies {
             if !t.touched {
                 continue; // dead window: every cell is zero
             }

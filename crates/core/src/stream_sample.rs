@@ -121,6 +121,7 @@ use crate::sample::{
 };
 use crate::scratch::with_thread_scratch;
 use crate::streaming::StreamError;
+use hare_obs::{NoopProbe, Phase, Probe};
 use temporal_graph::{GraphBuilder, NodeId, TemporalGraph, Timestamp};
 
 /// Accounted bytes per retained edge: the stored `(src, dst, t)` record
@@ -566,6 +567,23 @@ impl StreamingEstimator {
     /// [`Self::accept_floor`]; [`StreamError::SelfLoop`] if
     /// `src == dst`.
     pub fn push(&mut self, src: NodeId, dst: NodeId, t: Timestamp) -> Result<(), StreamError> {
+        self.push_probed(src, dst, t, &NoopProbe)
+    }
+
+    /// [`StreamingEstimator::push`] with a [`Probe`] observing the
+    /// ingest path: [`Phase::Evict`] wraps budget-pressure eviction
+    /// work triggered by this arrival. Retained state and estimates are
+    /// bit-identical across probe implementations.
+    ///
+    /// # Errors
+    /// Exactly as [`StreamingEstimator::push`].
+    pub fn push_probed<P: Probe>(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        t: Timestamp,
+        probe: &P,
+    ) -> Result<(), StreamError> {
         if src == dst {
             return Err(StreamError::SelfLoop);
         }
@@ -582,7 +600,7 @@ impl StreamingEstimator {
         self.next_seq += 1;
         self.accepted += 1;
         let release_to = self.max_seen.expect("just set") - self.cfg.slack;
-        self.release_until(release_to);
+        self.release_until(release_to, probe);
         Ok(())
     }
 
@@ -594,7 +612,7 @@ impl StreamingEstimator {
         if self.hard_floor.is_some_and(|f| f >= t) && self.watermark.is_some_and(|w| w >= t) {
             return;
         }
-        self.release_until(t);
+        self.release_until(t, &NoopProbe);
         self.hard_floor = Some(self.hard_floor.map_or(t, |f| f.max(t)));
         self.watermark = Some(self.watermark.map_or(t, |w| w.max(t)));
         self.settle_completed();
@@ -605,21 +623,28 @@ impl StreamingEstimator {
     /// After a flush, arrivals older than the largest timestamp seen are
     /// rejected.
     pub fn flush(&mut self) {
+        self.flush_probed(&NoopProbe);
+    }
+
+    /// [`StreamingEstimator::flush`] with a [`Probe`] observing the
+    /// drain ([`Phase::Evict`] around budget-pressure eviction work).
+    /// Bit-identical to [`StreamingEstimator::flush`] for every probe.
+    pub fn flush_probed<P: Probe>(&mut self, probe: &P) {
         if let Some(max) = self.max_seen {
-            self.release_until(max);
+            self.release_until(max, probe);
             self.hard_floor = Some(self.hard_floor.map_or(max, |f| f.max(max)));
         }
     }
 
     /// Process buffered arrivals with `t <= cutoff`, in `(t, seq)`
     /// order.
-    fn release_until(&mut self, cutoff: Timestamp) {
+    fn release_until<P: Probe>(&mut self, cutoff: Timestamp, probe: &P) {
         while let Some((&(t, _), _)) = self.buffer.first_key_value() {
             if t > cutoff {
                 break;
             }
             let ((t, _), (src, dst)) = self.buffer.pop_first().expect("non-empty");
-            self.process(src, dst, t);
+            self.process(src, dst, t, probe);
         }
     }
 
@@ -627,13 +652,13 @@ impl StreamingEstimator {
     /// the edge provisionally (its interval is incomplete by
     /// construction), settle any intervals the watermark completed, and
     /// enforce the byte budget.
-    fn process(&mut self, src: NodeId, dst: NodeId, t: Timestamp) {
+    fn process<P: Probe>(&mut self, src: NodeId, dst: NodeId, t: Timestamp, probe: &P) {
         debug_assert!(self.watermark.is_none_or(|w| t >= w));
         self.watermark = Some(self.watermark.map_or(t, |w| w.max(t)));
         self.expire();
         self.retained.push_back(Retained { src, dst, t });
         self.settle_completed();
-        self.enforce_budget();
+        probe.span(Phase::Evict, || self.enforce_budget());
     }
 
     /// First incomplete interval: `(watermark − δ) / len`. Intervals
@@ -1102,6 +1127,19 @@ impl StreamingEstimator {
     /// [`crate::windowed::WindowedCounter::counts`] on the same stream.
     #[must_use]
     pub fn estimates(&self) -> StreamEstimates {
+        self.estimates_probed(&NoopProbe)
+    }
+
+    /// [`StreamingEstimator::estimates`] with a [`Probe`] observing the
+    /// tick: the whole rebuild-count-reduce pass is attributed to
+    /// [`Phase::Summarise`]. Bit-identical to
+    /// [`StreamingEstimator::estimates`] for every probe.
+    #[must_use]
+    pub fn estimates_probed<P: Probe>(&self, probe: &P) -> StreamEstimates {
+        probe.span(Phase::Summarise, || self.estimates_inner())
+    }
+
+    fn estimates_inner(&self) -> StreamEstimates {
         // hare-lint: allow(alloc, reason = "per-tick setup: the retained live edges become one graph")
         let mut b = GraphBuilder::new();
         for e in &self.retained {

@@ -50,8 +50,13 @@ const PANIC_SCOPE: [&str; 6] = [
 #[must_use]
 pub fn scopes_for(rel: &str) -> ScopeSet {
     ScopeSet {
+        // `crates/obs/src/` carries the probe seams the D-scoped
+        // kernels call into: the same wall-clock/iteration-order rules
+        // apply there, with the one timing implementation opting out
+        // via its `//! hare-lint: timing` header.
         determinism: DETERMINISM_SCOPE.contains(&rel)
-            || rel.starts_with("crates/temporal-graph/src/"),
+            || rel.starts_with("crates/temporal-graph/src/")
+            || rel.starts_with("crates/obs/src/"),
         panic_safety: PANIC_SCOPE.contains(&rel),
         force_no_alloc: false,
     }
@@ -115,6 +120,11 @@ mod tests {
         assert!(scopes_for("crates/temporal-graph/src/graph.rs").determinism);
         assert!(scopes_for("crates/temporal-graph/src/ooc.rs").determinism);
         assert!(!scopes_for("crates/core/src/lib.rs").determinism);
+        assert!(scopes_for("crates/obs/src/probe.rs").determinism);
+        assert!(scopes_for("crates/obs/src/metrics.rs").determinism);
+        // timing.rs is D-scoped too — its wall-clock use is legal only
+        // because the module opts out via `//! hare-lint: timing`.
+        assert!(scopes_for("crates/obs/src/timing.rs").determinism);
         assert!(scopes_for("crates/serve/src/api.rs").panic_safety);
         assert!(scopes_for("crates/serve/src/nodes.rs").panic_safety);
         assert!(!scopes_for("crates/serve/src/main.rs").panic_safety);

@@ -1,0 +1,59 @@
+//! `hare-obs` — zero-dependency observability for the HARE workspace.
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`metrics`] — lock-free atomic [`Counter`]s/[`Gauge`]s,
+//!   log₂-bucket [`Histogram`]s, a seqlock [`Group`] for coherent
+//!   multi-counter snapshots, and a [`Registry`] that renders the
+//!   Prometheus text exposition format by hand (no protobuf, no
+//!   client library). `hare-serve` mounts this at `GET /metrics`.
+//! * [`trace`] — a fixed-size [`TraceRing`] of per-request phase
+//!   events with monotonically allocated trace ids, backing the
+//!   daemon's opt-in `?trace=1` phase breakdown.
+//! * [`probe`] — the [`Probe`] seam the counting kernels are generic
+//!   over. The default [`NoopProbe`] monomorphizes every
+//!   `probe.span(phase, f)` to a plain call of `f` (zero code, zero
+//!   branches), so the kernels stay on the D-determinism lint scope;
+//!   the wall-clock-backed [`WallClockProbe`] lives only here, in the
+//!   [`timing`] module behind the `hare-lint: timing` opt-out.
+//!
+//! Determinism: nothing outside [`timing`] reads a clock, and no probe
+//! implementation can influence counting results — [`Probe::span`]
+//! returns the closure's value unchanged, so counts are bit-identical
+//! with probes on or off (pinned by differential tests in `hare` and
+//! the CLI e2e suite).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod probe;
+pub mod timing;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Group, Histogram, Registry};
+pub use probe::{NoopProbe, Phase, Probe};
+pub use timing::WallClockProbe;
+pub use trace::{TraceEvent, TraceRing};
+
+/// Best-effort resident-set size of the current process in bytes
+/// (Linux `/proc/self/status` `VmRSS`, kB × 1024). `None` where procfs
+/// is unavailable. The daemon's self-sampler thread feeds this into
+/// the `hare_process_resident_bytes` gauge.
+#[must_use]
+pub fn resident_set_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn resident_set_bytes_is_positive_on_linux() {
+        if let Some(bytes) = super::resident_set_bytes() {
+            assert!(bytes > 0);
+        }
+    }
+}

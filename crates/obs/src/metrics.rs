@@ -1,0 +1,594 @@
+//! Lock-free metric primitives and a hand-rolled Prometheus
+//! text-exposition renderer.
+//!
+//! All values are unsigned 64-bit integers: counters count events,
+//! gauges hold byte/entry quantities, histograms observe integer
+//! microseconds into power-of-two (log₂) buckets. Staying integral
+//! keeps the rendered exposition deterministic (no float formatting)
+//! and the hot-path arithmetic branch-free.
+//!
+//! A [`Registry`] owns families in *registration order*, so repeated
+//! scrapes render series in a stable order — pre-register every family
+//! at startup and the exposition layout never changes at runtime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Number of finite histogram buckets: upper bounds `2^0 .. 2^31`.
+/// Observations above `2^31` (µs ≈ 36 minutes) land only in `+Inf`.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    #[must_use]
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (bytes resident, sessions
+/// open, ...). The daemon sets gauges from authoritative snapshots at
+/// scrape time rather than mirroring every mutation.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    #[must_use]
+    pub fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucket histogram over `u64` observations (by convention:
+/// microseconds). Bucket `b` spans `(2^(b-1), 2^b]`; observations of 0
+/// and 1 share the first bucket (`le="1"`).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    overflow: AtomicU64,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the smallest bucket whose upper bound `2^b` holds `v`,
+    /// or `HISTOGRAM_BUCKETS` for overflow into `+Inf` only.
+    fn bucket_index(v: u64) -> usize {
+        if v <= 1 {
+            0
+        } else {
+            (u64::BITS - (v - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = Histogram::bucket_index(v);
+        match self.buckets.get(idx) {
+            Some(b) => b.fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts plus the overflow bucket.
+    #[must_use]
+    pub fn bucket_counts(&self) -> ([u64; HISTOGRAM_BUCKETS], u64) {
+        (
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            self.overflow.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A small fixed family of counters whose reads need to be *mutually
+/// coherent* (a seqlock): writers mutate all slots as one transition
+/// under an internal lock; readers retry until they observe a
+/// quiescent version, so a snapshot never mixes two transitions.
+///
+/// `hare-serve` keeps its queue counters (queued, in-flight,
+/// completed, rejected) in one `Group<4>` so `GET /stats` and
+/// `GET /metrics` report a consistent picture mid-burst.
+#[derive(Debug)]
+pub struct Group<const N: usize> {
+    write: Mutex<()>,
+    version: AtomicU64,
+    slots: [AtomicU64; N],
+}
+
+impl<const N: usize> Default for Group<N> {
+    fn default() -> Group<N> {
+        Group::new()
+    }
+}
+
+impl<const N: usize> Group<N> {
+    /// A group with all slots zero.
+    #[must_use]
+    pub fn new() -> Group<N> {
+        Group {
+            write: Mutex::new(()),
+            version: AtomicU64::new(0),
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Apply one coherent transition to all slots. Concurrent
+    /// `update`s serialize; concurrent `snapshot`s never observe a
+    /// half-applied transition.
+    pub fn update(&self, f: impl FnOnce(&mut [u64; N])) {
+        let _guard = self.write.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut vals: [u64; N] = std::array::from_fn(|i| self.slots[i].load(Ordering::Relaxed));
+        f(&mut vals);
+        self.version.fetch_add(1, Ordering::SeqCst); // odd: write in progress
+        for (slot, v) in self.slots.iter().zip(vals) {
+            slot.store(v, Ordering::SeqCst);
+        }
+        self.version.fetch_add(1, Ordering::SeqCst); // even: quiescent
+    }
+
+    /// One coherent snapshot of all slots (lock-free; retries while a
+    /// writer is mid-transition).
+    #[must_use]
+    pub fn snapshot(&self) -> [u64; N] {
+        loop {
+            let v1 = self.version.load(Ordering::SeqCst);
+            if v1 % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let vals: [u64; N] = std::array::from_fn(|i| self.slots[i].load(Ordering::SeqCst));
+            let v2 = self.version.load(Ordering::SeqCst);
+            if v1 == v2 {
+                return vals;
+            }
+        }
+    }
+
+    /// A single slot's current value (no cross-slot coherence).
+    #[must_use]
+    pub fn get(&self, i: usize) -> u64 {
+        self.slots[i].load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric handle.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One series inside a family: a rendered label set + its handle.
+#[derive(Debug)]
+struct Series {
+    /// Pre-rendered label block (`{path="/count",status="2xx"}`), or
+    /// empty for an unlabelled series.
+    labels: String,
+    metric: Metric,
+}
+
+/// A metric family: one name, one help line, one type, many series.
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    series: Vec<Series>,
+}
+
+/// A registry of metric families, rendered in registration order.
+///
+/// Registration is idempotent: registering the same `(name, labels)`
+/// pair again returns the existing handle, so call sites don't need to
+/// coordinate. Registering an existing name with a different metric
+/// *type* panics (a wiring bug, caught in tests).
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+/// Escape a label value per the exposition format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a label set to its exposition block (empty slice → "").
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Splice an extra `le="..."` pair into a rendered label block.
+fn labels_with_le(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        let inner = &labels[1..labels.len() - 1];
+        format!("{{{inner},le=\"{le}\"}}")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(&self, name: &str, help: &str, labels: &[(&str, &str)], make: Metric) -> Metric {
+        let rendered = render_labels(labels);
+        let mut families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(family) = families.iter_mut().find(|f| f.name == name) {
+            if let Some(series) = family.series.iter().find(|s| s.labels == rendered) {
+                assert_eq!(
+                    series.metric.type_name(),
+                    make.type_name(),
+                    "metric {name} re-registered with a different type"
+                );
+                return series.metric.clone();
+            }
+            assert_eq!(
+                family.series.first().map(|s| s.metric.type_name()),
+                Some(make.type_name()),
+                "metric {name} re-registered with a different type"
+            );
+            family.series.push(Series {
+                labels: rendered,
+                metric: make.clone(),
+            });
+            return make;
+        }
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            series: vec![Series {
+                labels: rendered,
+                metric: make.clone(),
+            }],
+        });
+        make
+    }
+
+    /// Register (or fetch) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a labelled counter series.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(
+            name,
+            help,
+            labels,
+            Metric::Counter(Arc::new(Counter::new())),
+        ) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("type asserted in register"),
+        }
+    }
+
+    /// Register (or fetch) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        match self.register(name, help, &[], Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("type asserted in register"),
+        }
+    }
+
+    /// Register (or fetch) an unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a labelled histogram series.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.register(
+            name,
+            help,
+            labels,
+            Metric::Histogram(Arc::new(Histogram::new())),
+        ) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("type asserted in register"),
+        }
+    }
+
+    /// Render every family as Prometheus text exposition (version
+    /// 0.0.4): `# HELP` + `# TYPE` headers, then one line per series,
+    /// histograms expanded into cumulative `_bucket`/`_sum`/`_count`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::new();
+        for family in families.iter() {
+            let name = &family.name;
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            let type_name = family
+                .series
+                .first()
+                .map_or("counter", |s| s.metric.type_name());
+            out.push_str(&format!("# TYPE {name} {type_name}\n"));
+            for series in &family.series {
+                match &series.metric {
+                    Metric::Counter(c) => {
+                        out.push_str(&format!("{name}{} {}\n", series.labels, c.get()));
+                    }
+                    Metric::Gauge(g) => {
+                        out.push_str(&format!("{name}{} {}\n", series.labels, g.get()));
+                    }
+                    Metric::Histogram(h) => {
+                        let (buckets, overflow) = h.bucket_counts();
+                        let mut cumulative = 0_u64;
+                        for (b, n) in buckets.iter().enumerate() {
+                            cumulative += n;
+                            let le = (1_u128 << b).to_string();
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cumulative}\n",
+                                labels_with_le(&series.labels, &le)
+                            ));
+                        }
+                        cumulative += overflow;
+                        out.push_str(&format!(
+                            "{name}_bucket{} {cumulative}\n",
+                            labels_with_le(&series.labels, "+Inf")
+                        ));
+                        out.push_str(&format!("{name}_sum{} {}\n", series.labels, h.sum()));
+                        out.push_str(&format!("{name}_count{} {}\n", series.labels, h.count()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(77);
+        assert_eq!(g.get(), 77);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1 << 31), 31);
+        assert_eq!(Histogram::bucket_index((1 << 31) + 1), 32);
+    }
+
+    #[test]
+    fn histogram_observe_totals() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 1000, u64::MAX / 2] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 3 + 1000 + u64::MAX / 2);
+        let (buckets, overflow) = h.bucket_counts();
+        assert_eq!(buckets.iter().sum::<u64>() + overflow, h.count());
+        assert_eq!(buckets[0], 2, "0 and 1 share le=\"1\"");
+        assert_eq!(overflow, 1, "huge value lands only in +Inf");
+    }
+
+    #[test]
+    fn group_snapshot_is_coherent_under_contention() {
+        let group: Arc<Group<2>> = Arc::new(Group::new());
+        // Writers preserve the invariant slots[0] == slots[1].
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&group);
+                std::thread::spawn(move || {
+                    for _ in 0..2000 {
+                        g.update(|v| {
+                            v[0] += 1;
+                            v[1] += 1;
+                        });
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let g = Arc::clone(&group);
+            std::thread::spawn(move || {
+                for _ in 0..5000 {
+                    let snap = g.snapshot();
+                    assert_eq!(snap[0], snap[1], "snapshot mixed two transitions");
+                }
+            })
+        };
+        for w in writers {
+            w.join().expect("writer");
+        }
+        reader.join().expect("reader");
+        assert_eq!(group.snapshot(), [8000, 8000]);
+    }
+
+    #[test]
+    fn registry_renders_exposition_format() {
+        let reg = Registry::new();
+        let c = reg.counter("hare_test_total", "A test counter.");
+        c.add(3);
+        let g = reg.gauge("hare_test_bytes", "A test gauge.");
+        g.set(1024);
+        let h = reg.histogram("hare_test_us", "A test histogram.");
+        h.observe(3);
+        h.observe(100);
+        let text = reg.render();
+        assert!(text.contains("# HELP hare_test_total A test counter.\n"));
+        assert!(text.contains("# TYPE hare_test_total counter\n"));
+        assert!(text.contains("hare_test_total 3\n"));
+        assert!(text.contains("# TYPE hare_test_bytes gauge\n"));
+        assert!(text.contains("hare_test_bytes 1024\n"));
+        assert!(text.contains("# TYPE hare_test_us histogram\n"));
+        assert!(text.contains("hare_test_us_bucket{le=\"4\"} 1\n"));
+        assert!(text.contains("hare_test_us_bucket{le=\"128\"} 2\n"));
+        assert!(text.contains("hare_test_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("hare_test_us_sum 103\n"));
+        assert!(text.contains("hare_test_us_count 2\n"));
+    }
+
+    #[test]
+    fn registry_labels_and_idempotent_registration() {
+        let reg = Registry::new();
+        let a = reg.counter_with(
+            "hare_req_total",
+            "Requests.",
+            &[("path", "/count"), ("status", "2xx")],
+        );
+        let b = reg.counter_with(
+            "hare_req_total",
+            "Requests.",
+            &[("path", "/count"), ("status", "2xx")],
+        );
+        a.inc();
+        b.inc();
+        let other = reg.counter_with(
+            "hare_req_total",
+            "Requests.",
+            &[("path", "/stats"), ("status", "2xx")],
+        );
+        other.add(7);
+        let text = reg.render();
+        assert!(
+            text.contains("hare_req_total{path=\"/count\",status=\"2xx\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hare_req_total{path=\"/stats\",status=\"2xx\"} 7\n"),
+            "{text}"
+        );
+        // One family header, two series.
+        assert_eq!(text.matches("# TYPE hare_req_total").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter_with("hare_esc_total", "Escapes.", &[("v", "a\"b\\c\nd")]);
+        let text = reg.render();
+        assert!(
+            text.contains(r#"hare_esc_total{v="a\"b\\c\nd"} 0"#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn registration_order_is_render_order() {
+        let reg = Registry::new();
+        reg.counter("hare_z_total", "Z.");
+        reg.counter("hare_a_total", "A.");
+        let text = reg.render();
+        let z = text.find("hare_z_total").expect("z present");
+        let a = text.find("hare_a_total").expect("a present");
+        assert!(z < a, "families render in registration order");
+    }
+}

@@ -1,0 +1,137 @@
+//! hare-lint: timing
+//!
+//! The wall-clock-backed [`Probe`] implementation. This is the ONE
+//! module in the probe seam allowed to read a clock (hence the
+//! `hare-lint: timing` opt-out above): the kernels themselves are
+//! generic over [`Probe`] and default to [`crate::NoopProbe`], so the
+//! determinism invariant — counts bit-identical regardless of probe —
+//! is structural, not behavioural. Timing can only ever *observe*.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::probe::{Phase, Probe};
+use crate::trace::TraceEvent;
+
+/// Accumulated wall-clock time per [`Phase`], safe to share across the
+/// worker threads of one run (atomic adds, no locks).
+#[derive(Debug, Default)]
+pub struct WallClockProbe {
+    totals_ns: [AtomicU64; Phase::ALL.len()],
+    spans: [AtomicU64; Phase::ALL.len()],
+}
+
+/// One phase's aggregate, as reported by [`WallClockProbe::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// The phase.
+    pub phase: Phase,
+    /// Total attributed wall-clock time, nanoseconds.
+    pub total_ns: u64,
+    /// Number of spans folded into `total_ns`.
+    pub spans: u64,
+}
+
+impl WallClockProbe {
+    /// A probe with all phases at zero.
+    #[must_use]
+    pub fn new() -> WallClockProbe {
+        WallClockProbe::default()
+    }
+
+    /// Per-phase totals in [`Phase::ALL`] order, phases with no spans
+    /// omitted.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<PhaseTotal> {
+        Phase::ALL
+            .iter()
+            .map(|&phase| PhaseTotal {
+                phase,
+                total_ns: self.totals_ns[phase.index()].load(Ordering::Relaxed),
+                spans: self.spans[phase.index()].load(Ordering::Relaxed),
+            })
+            .filter(|t| t.spans > 0)
+            .collect()
+    }
+
+    /// The snapshot as [`TraceEvent`]s (durations in µs) for `trace_id`.
+    #[must_use]
+    pub fn trace_events(&self, trace_id: u64) -> Vec<TraceEvent> {
+        self.snapshot()
+            .iter()
+            .map(|t| TraceEvent {
+                trace_id,
+                phase: t.phase.name(),
+                duration_us: t.total_ns / 1_000,
+                spans: t.spans,
+            })
+            .collect()
+    }
+
+    /// A human-readable per-phase table (for `hare-count --profile`;
+    /// written to stderr so stdout stays byte-identical to unprofiled
+    /// runs).
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>10} {:>12} {:>8}\n",
+            "phase", "total_us", "spans"
+        ));
+        for t in self.snapshot() {
+            out.push_str(&format!(
+                "{:>10} {:>12} {:>8}\n",
+                t.phase.name(),
+                t.total_ns / 1_000,
+                t.spans
+            ));
+        }
+        out
+    }
+}
+
+impl Probe for WallClockProbe {
+    fn span<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.totals_ns[phase.index()].fetch_add(ns, Ordering::Relaxed);
+        self.spans[phase.index()].fetch_add(1, Ordering::Relaxed);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_is_transparent_and_attributed() {
+        let probe = WallClockProbe::new();
+        let out = probe.span(Phase::Scan, || 7_u32);
+        assert_eq!(out, 7);
+        probe.span(Phase::Scan, || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        let snap = probe.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].phase, Phase::Scan);
+        assert_eq!(snap[0].spans, 2);
+        assert!(snap[0].total_ns >= 2_000_000, "{}ns", snap[0].total_ns);
+    }
+
+    #[test]
+    fn empty_phases_are_omitted_everywhere() {
+        let probe = WallClockProbe::new();
+        probe.span(Phase::Fold, || ());
+        assert_eq!(probe.snapshot().len(), 1);
+        let events = probe.trace_events(9);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].trace_id, 9);
+        assert_eq!(events[0].phase, "fold");
+        let table = probe.render_table();
+        assert!(table.contains("fold"), "{table}");
+        assert!(!table.contains("scan"), "{table}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-request phase traces in a fixed-size ring buffer.
+//!
+//! The daemon allocates one trace id per traced request, records each
+//! kernel phase as a [`TraceEvent`], and keeps the most recent events
+//! in a bounded [`TraceRing`] — old events are overwritten, memory is
+//! constant, and recording is a short critical section (no allocation
+//! after construction). The `?trace=1` response is built from the
+//! events of that request's trace id.
+//!
+//! Durations arrive from outside (the timing probe); this module never
+//! reads a clock, so it stays inside the determinism lint scope.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// One recorded span: a phase of one traced request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The owning request's trace id.
+    pub trace_id: u64,
+    /// Stable phase name (`scan`, `fold`, ...).
+    pub phase: &'static str,
+    /// Total time attributed to this phase, in microseconds.
+    pub duration_us: u64,
+    /// Number of spans folded into `duration_us`.
+    pub spans: u64,
+}
+
+/// A bounded ring of the most recent [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct TraceRing {
+    next_id: AtomicU64,
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index the next event is written to once the ring is full.
+    head: usize,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        TraceRing {
+            next_id: AtomicU64::new(1),
+            inner: Mutex::new(Ring {
+                buf: Vec::with_capacity(capacity),
+                capacity,
+                head: 0,
+            }),
+        }
+    }
+
+    /// Allocate a fresh trace id (unique per ring, starts at 1).
+    #[must_use]
+    pub fn begin(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Record one event, evicting the oldest once full.
+    pub fn record(&self, event: TraceEvent) {
+        let mut ring = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.buf.len() < ring.capacity {
+            ring.buf.push(event);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = event;
+            ring.head = (head + 1) % ring.capacity;
+        }
+    }
+
+    /// All retained events for one trace id, in recording order.
+    #[must_use]
+    pub fn events_for(&self, trace_id: u64) -> Vec<TraceEvent> {
+        let ring = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        // Oldest-first: the segment at `head..` precedes `..head`.
+        let (newer, older) = ring.buf.split_at(ring.head.min(ring.buf.len()));
+        older
+            .iter()
+            .chain(newer.iter())
+            .filter(|e| e.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events currently retained (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .buf
+            .len()
+    }
+
+    /// `true` when no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(trace_id: u64, phase: &'static str, duration_us: u64) -> TraceEvent {
+        TraceEvent {
+            trace_id,
+            phase,
+            duration_us,
+            spans: 1,
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_events_retrievable() {
+        let ring = TraceRing::new(8);
+        let a = ring.begin();
+        let b = ring.begin();
+        assert_ne!(a, b);
+        ring.record(ev(a, "scan", 10));
+        ring.record(ev(b, "scan", 20));
+        ring.record(ev(a, "fold", 5));
+        let got = ring.events_for(a);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].phase, "scan");
+        assert_eq!(got[1].phase, "fold");
+        assert_eq!(ring.events_for(b).len(), 1);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_overwrites_oldest() {
+        let ring = TraceRing::new(3);
+        for i in 0..5 {
+            ring.record(ev(1, "scan", i));
+        }
+        assert_eq!(ring.len(), 3);
+        let durations: Vec<u64> = ring.events_for(1).iter().map(|e| e.duration_us).collect();
+        assert_eq!(durations, [2, 3, 4], "oldest two were evicted, order kept");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = TraceRing::new(0);
+        ring.record(ev(1, "scan", 1));
+        ring.record(ev(1, "fold", 2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.events_for(1)[0].phase, "fold");
+    }
+}

@@ -21,6 +21,9 @@ use crate::catalog::CatalogError;
 use crate::http::Request;
 use crate::AppState;
 
+/// Prometheus text exposition format 0.0.4 (the `/metrics` body).
+pub const CONTENT_TYPE_METRICS: &str = "text/plain; version=0.0.4";
+
 /// A fully-formed response: status, rendered body bytes, and whether
 /// the worker should trigger graceful shutdown *after* writing it.
 pub struct ApiResponse {
@@ -30,13 +33,30 @@ pub struct ApiResponse {
     pub body: Arc<String>,
     /// `true` only for an accepted `POST /shutdown`.
     pub shutdown: bool,
+    /// Result-cache disposition for the access log: `Some(true)` = hit,
+    /// `Some(false)` = computed, `None` = the endpoint is uncached.
+    pub cache: Option<bool>,
+    /// `Content-Type` header value (`/metrics` is text, the rest JSON).
+    pub content_type: &'static str,
+}
+
+impl Default for ApiResponse {
+    fn default() -> ApiResponse {
+        ApiResponse {
+            status: 200,
+            body: Arc::new(String::new()),
+            shutdown: false,
+            cache: None,
+            content_type: "application/json",
+        }
+    }
 }
 
 fn ok(status: u16, value: &Value) -> ApiResponse {
     ApiResponse {
         status,
         body: Arc::new(hare::report::render(value)),
-        shutdown: false,
+        ..ApiResponse::default()
     }
 }
 
@@ -49,7 +69,7 @@ pub fn error_response(status: u16, message: &str) -> ApiResponse {
     ApiResponse {
         status,
         body: Arc::new(hare::report::render(&value)),
-        shutdown: false,
+        ..ApiResponse::default()
     }
 }
 
@@ -60,6 +80,7 @@ pub fn handle(state: &AppState, req: &Request) -> ApiResponse {
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", []) => index(),
         ("GET", ["stats"]) => stats(state),
+        ("GET", ["metrics"]) => metrics(state),
         ("GET", ["datasets"]) => list_datasets(state),
         ("POST", ["datasets"]) => register_dataset(state, req),
         ("GET", ["count"]) => count(state, req),
@@ -81,7 +102,16 @@ pub fn handle(state: &AppState, req: &Request) -> ApiResponse {
         ("POST", ["shutdown"]) => shutdown(state),
         // Known resources reached with the wrong verb get a 405 so
         // clients can tell "wrong method" from "wrong path".
-        (_, [] | ["stats"] | ["datasets"] | ["count"] | ["cache", "clear"] | ["shutdown"])
+        (
+            _,
+            []
+            | ["stats"]
+            | ["metrics"]
+            | ["datasets"]
+            | ["count"]
+            | ["cache", "clear"]
+            | ["shutdown"],
+        )
         | (_, ["sessions" | "nodes", ..]) => error_response(
             405,
             &format!("method {} is not supported on {}", req.method, req.path),
@@ -96,7 +126,7 @@ fn index() -> ApiResponse {
         &serde_json::json!({
             "service": "hare-serve",
             "endpoints": [
-                "GET /count?dataset=NAME&delta=SECONDS[&only=pairs|stars|triangles][&engine=approx&prob=P&ci=L&window_factor=C&seed=S][&threads=N]",
+                "GET /count?dataset=NAME&delta=SECONDS[&only=pairs|stars|triangles][&engine=approx&prob=P&ci=L&window_factor=C&seed=S][&threads=N][&trace=1]",
                 "GET /nodes/{id}/motifs?dataset=NAME&delta=SECONDS[&threads=N]",
                 "GET /nodes/top?dataset=NAME&delta=SECONDS[&motif=M][&k=K][&threads=N]",
                 "GET /datasets",
@@ -108,6 +138,7 @@ fn index() -> ApiResponse {
                 "POST /sessions/{id}/flush",
                 "DELETE /sessions/{id}",
                 "GET /stats",
+                "GET /metrics",
                 "POST /cache/clear",
                 "POST /shutdown",
             ],
@@ -116,8 +147,12 @@ fn index() -> ApiResponse {
 }
 
 fn stats(state: &AppState) -> ApiResponse {
+    // Each section is one coherent snapshot of its source: the cache
+    // counters are read under the cache lock, and the queue counters
+    // come out of the metrics seqlock in a single consistent view (a
+    // request mid-transition can never be seen in two states at once).
     let cache = state.cache.stats();
-    let m = &state.metrics;
+    let [queued, in_flight, completed, rejected] = state.metrics.snapshot();
     let catalog = serde_json::json!({
         "datasets": state.catalog.len(),
         "names": state.catalog.names(),
@@ -132,10 +167,10 @@ fn stats(state: &AppState) -> ApiResponse {
     let queue = serde_json::json!({
         "workers": state.cfg.workers,
         "capacity": state.cfg.queue_capacity,
-        "queued": m.queued(),
-        "in_flight": m.in_flight(),
-        "completed": m.completed(),
-        "rejected": m.rejected(),
+        "queued": queued,
+        "in_flight": in_flight,
+        "completed": completed,
+        "rejected": rejected,
     });
     let sessions = serde_json::json!({
         "open": state.sessions.open_count(),
@@ -155,6 +190,22 @@ fn stats(state: &AppState) -> ApiResponse {
             "shutdown_enabled": shutdown_enabled,
         }),
     )
+}
+
+fn metrics(state: &AppState) -> ApiResponse {
+    state.obs.sync(&crate::obs::SyncSnapshot {
+        cache: state.cache.stats(),
+        queue: state.metrics.snapshot(),
+        sessions_open: state.sessions.open_count() as u64,
+        sessions_created: state.sessions.created_count(),
+        session_pool_bytes: state.sessions.pool_bytes(),
+        session_reserved_bytes: state.sessions.reserved_bytes(),
+    });
+    ApiResponse {
+        body: Arc::new(state.obs.registry.render()),
+        content_type: CONTENT_TYPE_METRICS,
+        ..ApiResponse::default()
+    }
 }
 
 fn dataset_entry_value(entry: &crate::catalog::DatasetEntry) -> Value {
@@ -337,6 +388,60 @@ impl Plan {
             } => format!("approx/prob={prob}/ci={ci}/wf={window_factor}/seed={seed}"),
         }
     }
+
+    /// Execute the plan and build the canonical response body. Generic
+    /// over [`hare::Probe`] so `?trace=1` can observe phase timings;
+    /// the body itself is probe-invariant (kernels only let probes
+    /// watch phase boundaries), so traced and untraced runs cache the
+    /// same bytes.
+    fn execute<P: hare::Probe>(
+        &self,
+        entry: &crate::catalog::DatasetEntry,
+        delta: Timestamp,
+        threads: usize,
+        probe: &P,
+    ) -> Value {
+        match self {
+            Plan::Exact { only, .. } => {
+                let hare = Hare::new(HareConfig {
+                    num_threads: threads,
+                    ..HareConfig::default()
+                });
+                let matrix = hare.count_matrix_probed(&entry.graph, delta, *only, probe);
+                hare::report::exact_body(
+                    entry.stats.num_nodes,
+                    entry.stats.num_edges,
+                    delta,
+                    &matrix,
+                    None,
+                )
+            }
+            Plan::Approx {
+                prob,
+                ci,
+                window_factor,
+                seed,
+            } => {
+                let counter = SampledCounter::new(SampleConfig {
+                    prob: *prob,
+                    window_factor: *window_factor,
+                    confidence: *ci,
+                    seed: *seed,
+                    threads,
+                });
+                let est = counter.count_probed(&entry.graph, delta, probe);
+                hare::report::approx_body(
+                    entry.stats.num_nodes,
+                    entry.stats.num_edges,
+                    delta,
+                    *window_factor,
+                    *seed,
+                    &est,
+                    None,
+                )
+            }
+        }
+    }
 }
 
 /// Upper bound on `?threads=`: far above any real core count, low
@@ -381,62 +486,63 @@ fn count(state: &AppState, req: &Request) -> ApiResponse {
         delta,
         engine: plan.cache_key(),
     };
+
+    // `?trace=1` always computes (a cached body has no phases to time)
+    // but still *fills* the cache: the rendered body is probe-invariant,
+    // so the inserted bytes match what an untraced query would cache.
+    if matches!(req.query_param("trace"), Some("1" | "true")) {
+        let probe = hare::WallClockProbe::new();
+        let body = plan.execute(&entry, delta, threads, &probe);
+        let rendered = Arc::new(hare::report::render(&body));
+        state.cache.insert(key, Arc::clone(&rendered));
+        return traced_response(state, &probe, &rendered);
+    }
+
     if let Some(body) = state.cache.get(&key) {
         return ApiResponse {
-            status: 200,
             body,
-            shutdown: false,
+            cache: Some(true),
+            ..ApiResponse::default()
         };
     }
 
     // Miss: run the query on this worker (kernels parallelise
     // internally over the rayon pool with `threads` workers).
-    let body = match &plan {
-        Plan::Exact { only, .. } => {
-            let hare = Hare::new(HareConfig {
-                num_threads: threads,
-                ..HareConfig::default()
-            });
-            let matrix = hare.count_matrix(&entry.graph, delta, *only);
-            hare::report::exact_body(
-                entry.stats.num_nodes,
-                entry.stats.num_edges,
-                delta,
-                &matrix,
-                None,
-            )
-        }
-        Plan::Approx {
-            prob,
-            ci,
-            window_factor,
-            seed,
-        } => {
-            let counter = SampledCounter::new(SampleConfig {
-                prob: *prob,
-                window_factor: *window_factor,
-                confidence: *ci,
-                seed: *seed,
-                threads,
-            });
-            let est = counter.count(&entry.graph, delta);
-            hare::report::approx_body(
-                entry.stats.num_nodes,
-                entry.stats.num_edges,
-                delta,
-                *window_factor,
-                *seed,
-                &est,
-                None,
-            )
-        }
-    };
+    let body = plan.execute(&entry, delta, threads, &hare::NoopProbe);
     let rendered = Arc::new(hare::report::render(&body));
     state.cache.insert(key, Arc::clone(&rendered));
     ApiResponse {
-        status: 200,
         body: rendered,
-        shutdown: false,
+        cache: Some(false),
+        ..ApiResponse::default()
+    }
+}
+
+/// Wrap a rendered `/count` body in `{"result":…,"trace":…}` with the
+/// probe's per-phase breakdown, recording the events into the server's
+/// trace ring for later inspection.
+fn traced_response(state: &AppState, probe: &hare::WallClockProbe, rendered: &str) -> ApiResponse {
+    let trace_id = state.obs.traces.begin();
+    let mut phases = Vec::new();
+    for ev in probe.trace_events(trace_id) {
+        phases.push(serde_json::json!({
+            "phase": ev.phase,
+            "duration_us": ev.duration_us,
+            "spans": ev.spans,
+        }));
+        state.obs.traces.record(ev);
+    }
+    let result: Value = match serde_json::from_str(rendered) {
+        Ok(v) => v,
+        Err(e) => return error_response(500, &format!("re-parsing rendered body: {e}")),
+    };
+    let wrapped = serde_json::json!({
+        "result": result,
+        "trace": {"trace_id": trace_id, "phases": phases},
+    });
+    ApiResponse {
+        cache: Some(false),
+        ..ok(200, &wrapped)
     }
 }
 
@@ -605,8 +711,8 @@ fn shutdown(state: &AppState) -> ApiResponse {
     }
     let value = serde_json::json!({"status": "shutting-down"});
     ApiResponse {
-        status: 200,
         body: Arc::new(hare::report::render(&value)),
         shutdown: true,
+        ..ApiResponse::default()
     }
 }

@@ -16,7 +16,6 @@
 //! scan only runs on a miss that inserts past capacity.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Cache key: dataset content fingerprint, δ, and the canonical
@@ -40,15 +39,20 @@ struct Entry {
 struct Inner {
     map: HashMap<CacheKey, Entry>,
     tick: u64,
+    hits: u64,
+    misses: u64,
     evictions: u64,
 }
 
 /// Shared, thread-safe LRU result cache with hit/miss metrics.
+///
+/// Every counter lives under the one entry mutex, so a
+/// [`ResultCache::stats`] call observes a single coherent point in
+/// time — hits, misses, entries and evictions all from the same
+/// instant, never a torn read taken mid-lookup.
 pub struct ResultCache {
     inner: Mutex<Inner>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
 }
 
 /// A point-in-time snapshot of the cache counters (`GET /stats`).
@@ -75,11 +79,11 @@ impl ResultCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 tick: 0,
+                hits: 0,
+                misses: 0,
                 evictions: 0,
             }),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
         }
     }
 
@@ -92,11 +96,12 @@ impl ResultCache {
         match inner.map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&entry.body))
+                let body = Arc::clone(&entry.body);
+                inner.hits += 1;
+                Some(body)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                inner.misses += 1;
                 None
             }
         }
@@ -141,15 +146,15 @@ impl ResultCache {
             .clear();
     }
 
-    /// Snapshot the counters.
+    /// Snapshot the counters — one coherent view under the entry lock.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         CacheStats {
             capacity: self.capacity,
             entries: inner.map.len(),
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: inner.hits,
+            misses: inner.misses,
             evictions: inner.evictions,
         }
     }

@@ -213,11 +213,17 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete `application/json` response (status line, headers,
-/// body) and flush. Every response closes the connection.
-pub fn write_response(stream: &mut TcpStream, status: u16, body: &[u8]) -> std::io::Result<()> {
+/// Write a complete response (status line, headers, body) and flush.
+/// Every response closes the connection. `content_type` is
+/// `application/json` everywhere except the `/metrics` text exposition.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         reason(status),
         body.len()
     );
@@ -371,7 +377,7 @@ mod tests {
             assert_eq!(req.path, "/echo path");
             assert_eq!(req.query_param("x"), Some("1 2"));
             assert_eq!(req.body, b"{\"k\":3}");
-            write_response(&mut conn, 200, b"{\"ok\":true}\n").unwrap();
+            write_response(&mut conn, 200, "application/json", b"{\"ok\":true}\n").unwrap();
         });
         let resp = client::post(addr, "/echo%20path?x=1+2", "{\"k\":3}").unwrap();
         assert_eq!(resp.status, 200);

@@ -61,13 +61,14 @@ pub mod cache;
 pub mod catalog;
 pub mod http;
 pub mod nodes;
+pub mod obs;
 pub mod sessions;
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, TrySendError};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::{Duration, Instant};
 
 use cache::ResultCache;
 use catalog::Catalog;
@@ -106,6 +107,11 @@ pub struct ServerConfig {
     pub session_memory_budget: Option<u64>,
     /// Allow `POST /shutdown` (test mode; the binary's flag).
     pub enable_shutdown: bool,
+    /// Emit a one-line JSON access log per handled request to stderr
+    /// (method, path, status, latency, cache disposition). Off by
+    /// default so embedded/test servers stay quiet; the daemon binary
+    /// turns it on unless `--no-access-log` is passed.
+    pub access_log: bool,
     /// Registry datasets to load at startup: `(name, scale)`.
     pub preload: Vec<(String, usize)>,
 }
@@ -123,43 +129,58 @@ impl Default for ServerConfig {
             max_sessions: 1024,
             session_memory_budget: None,
             enable_shutdown: false,
+            access_log: false,
             preload: Vec::new(),
         }
     }
 }
 
-/// Queue/worker counters surfaced by `GET /stats`.
+/// Queue/worker counters surfaced by `GET /stats` and `/metrics`.
+///
+/// All four live in one [`hare_obs::Group`] seqlock: every state
+/// transition (enqueue, dequeue, complete, reject) moves its pair of
+/// counters in a single atomic update, so a [`Metrics::snapshot`] is
+/// always self-consistent — a request is never observed in two states
+/// at once, or in none.
 #[derive(Default)]
 pub struct Metrics {
-    queued: AtomicU64,
-    in_flight: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
+    group: hare_obs::Group<4>,
 }
+
+const M_QUEUED: usize = 0;
+const M_IN_FLIGHT: usize = 1;
+const M_COMPLETED: usize = 2;
+const M_REJECTED: usize = 3;
 
 impl Metrics {
     /// Connections accepted and waiting in the queue right now.
     #[must_use]
     pub fn queued(&self) -> u64 {
-        self.queued.load(Ordering::Relaxed)
+        self.group.get(M_QUEUED)
     }
 
     /// Requests currently being handled by a worker.
     #[must_use]
     pub fn in_flight(&self) -> u64 {
-        self.in_flight.load(Ordering::Relaxed)
+        self.group.get(M_IN_FLIGHT)
     }
 
     /// Requests fully handled (response written).
     #[must_use]
     pub fn completed(&self) -> u64 {
-        self.completed.load(Ordering::Relaxed)
+        self.group.get(M_COMPLETED)
     }
 
     /// Connections rejected with `429` because the queue was full.
     #[must_use]
     pub fn rejected(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        self.group.get(M_REJECTED)
+    }
+
+    /// One coherent `[queued, in_flight, completed, rejected]` view.
+    #[must_use]
+    pub fn snapshot(&self) -> [u64; 4] {
+        self.group.snapshot()
     }
 }
 
@@ -176,6 +197,8 @@ pub struct AppState {
     pub sessions: SessionStore,
     /// Queue/worker counters.
     pub metrics: Metrics,
+    /// Metric registry and trace ring (`GET /metrics`, `?trace=1`).
+    pub obs: obs::ServeObs,
     shutdown_flag: AtomicBool,
     bound_addr: OnceLock<SocketAddr>,
 }
@@ -225,11 +248,13 @@ impl Server {
             catalog,
             sessions: SessionStore::with_pool(cfg.session_memory_budget),
             metrics: Metrics::default(),
+            obs: obs::ServeObs::new(),
             cfg,
             shutdown_flag: AtomicBool::new(false),
             bound_addr: OnceLock::new(),
         });
         let _ = state.bound_addr.set(listener.local_addr()?);
+        spawn_rss_sampler(Arc::downgrade(&state));
         Ok(Server { listener, state })
     }
 
@@ -274,21 +299,29 @@ impl Server {
             // Count the connection as queued *before* it becomes
             // visible to a worker (the worker's decrement must never
             // precede this increment), undoing on the reject paths.
-            state.metrics.queued.fetch_add(1, Ordering::Relaxed);
+            state.metrics.group.update(|v| v[M_QUEUED] += 1);
             match tx.try_send(conn) {
                 Ok(()) => {}
                 Err(TrySendError::Full(mut conn)) => {
-                    state.metrics.queued.fetch_sub(1, Ordering::Relaxed);
                     // Backpressure: answer 429 from the acceptor rather
-                    // than queueing unbounded work.
-                    state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    // than queueing unbounded work. One transition:
+                    // queued -> rejected.
+                    state.metrics.group.update(|v| {
+                        v[M_QUEUED] -= 1;
+                        v[M_REJECTED] += 1;
+                    });
                     let resp =
                         api::error_response(429, "request queue is full, retry with backoff");
                     let _ = conn.set_write_timeout(Some(state.cfg.io_timeout));
-                    let _ = http::write_response(&mut conn, resp.status, resp.body.as_bytes());
+                    let _ = http::write_response(
+                        &mut conn,
+                        resp.status,
+                        resp.content_type,
+                        resp.body.as_bytes(),
+                    );
                 }
                 Err(TrySendError::Disconnected(_)) => {
-                    state.metrics.queued.fetch_sub(1, Ordering::Relaxed);
+                    state.metrics.group.update(|v| v[M_QUEUED] -= 1);
                     break;
                 }
             }
@@ -330,8 +363,11 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &Arc<AppState>) {
             guard.recv()
         };
         let Ok(mut conn) = conn else { break };
-        state.metrics.queued.fetch_sub(1, Ordering::Relaxed);
-        state.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        // One transition: queued -> in_flight.
+        state.metrics.group.update(|v| {
+            v[M_QUEUED] -= 1;
+            v[M_IN_FLIGHT] += 1;
+        });
         // Panic isolation: a panicking handler must cost one request,
         // never a worker — an unwinding worker would permanently shrink
         // the pool until nothing drains the queue.
@@ -340,36 +376,98 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &Arc<AppState>) {
         }));
         if outcome.is_err() {
             let resp = api::error_response(500, "internal error while handling the request");
-            let _ = http::write_response(&mut conn, resp.status, resp.body.as_bytes());
+            let _ = http::write_response(
+                &mut conn,
+                resp.status,
+                resp.content_type,
+                resp.body.as_bytes(),
+            );
         }
-        state.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
-        state.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        // One transition: in_flight -> completed.
+        state.metrics.group.update(|v| {
+            v[M_IN_FLIGHT] -= 1;
+            v[M_COMPLETED] += 1;
+        });
     }
 }
 
 fn handle_connection(state: &Arc<AppState>, conn: &mut TcpStream) {
     let _ = conn.set_read_timeout(Some(state.cfg.io_timeout));
     let _ = conn.set_write_timeout(Some(state.cfg.io_timeout));
-    let resp = match http::read_request(conn, state.cfg.max_body_bytes) {
-        Ok(req) => api::handle(state, &req),
+    let started = Instant::now();
+    let (method, path, resp) = match http::read_request(conn, state.cfg.max_body_bytes) {
+        Ok(req) => {
+            let resp = api::handle(state, &req);
+            (req.method, req.path, resp)
+        }
         // Connection-level failure (peer went away, shutdown probe):
         // nothing to answer.
         Err(http::ReadError::Io(_)) => return,
-        Err(http::ReadError::BadRequest(m)) => api::error_response(400, &m),
-        Err(http::ReadError::TooLarge(n)) => api::error_response(
-            413,
-            &format!(
-                "request body of {n} bytes exceeds the {} byte limit",
-                state.cfg.max_body_bytes
+        Err(http::ReadError::BadRequest(m)) => {
+            ("-".into(), "-".into(), api::error_response(400, &m))
+        }
+        Err(http::ReadError::TooLarge(n)) => (
+            "-".into(),
+            "-".into(),
+            api::error_response(
+                413,
+                &format!(
+                    "request body of {n} bytes exceeds the {} byte limit",
+                    state.cfg.max_body_bytes
+                ),
             ),
         ),
     };
-    let _ = http::write_response(conn, resp.status, resp.body.as_bytes());
+    // Record the observation (and the log line below) *before* the
+    // response hits the wire: once a client holds the response, an
+    // immediate /metrics scrape must already account for this request.
+    // Localhost socket writes are the only latency left out.
+    let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    state.obs.observe_request(&path, resp.status, latency_us);
+    if state.cfg.access_log {
+        // One JSON object per line so the stream is machine-parseable;
+        // serde_json handles the escaping of client-controlled paths.
+        let line = serde_json::json!({
+            "method": method,
+            "path": path,
+            "status": resp.status,
+            "latency_us": latency_us,
+            "cache": match resp.cache {
+                Some(true) => "hit",
+                Some(false) => "miss",
+                None => "-",
+            },
+        });
+        eprintln!("{line}");
+    }
+    let _ = http::write_response(conn, resp.status, resp.content_type, resp.body.as_bytes());
     if resp.shutdown {
         // Trigger only after the response is on the wire so the caller
         // of POST /shutdown gets its 200.
         state.request_shutdown();
     }
+}
+
+/// Background VmRSS sampler: refreshes `hare_resident_memory_bytes`
+/// about once a second for as long as the server state is alive. The
+/// `Weak` handle is the thread's exit signal — once the last `Arc` to
+/// the state drops, the next tick ends the loop.
+fn spawn_rss_sampler(state: Weak<AppState>) {
+    let _ = std::thread::Builder::new()
+        .name("hare-serve-rss-sampler".into())
+        .spawn(move || loop {
+            let Some(state) = state.upgrade() else { return };
+            if state.shutdown_requested() {
+                return;
+            }
+            if let Some(bytes) = hare_obs::resident_set_bytes() {
+                state.obs.set_resident_bytes(bytes);
+            }
+            // Drop the strong reference before sleeping so the sampler
+            // never keeps a shut-down server's state alive.
+            drop(state);
+            std::thread::sleep(Duration::from_millis(1000));
+        });
 }
 
 /// Handle to a background server. Dropping it requests shutdown and

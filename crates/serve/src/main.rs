@@ -46,14 +46,23 @@ OPTIONS:
                         (429 when exhausted) and returns them on close
     --io-timeout SECS   per-connection socket timeout (default 30)
     --enable-shutdown   allow POST /shutdown (test mode)
+    --no-access-log     silence the per-request JSON access log the
+                        daemon writes to stderr (on by default)
     --help              this text
 
+Prometheus metrics are served at GET /metrics; per-request kernel
+phase timings at GET /count?...&trace=1 (see docs/OBSERVABILITY.md).
 Every /count response body is byte-identical to the equivalent
 `hare-count --json --no-timing` invocation; see docs/SERVICE.md.
 ";
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
-    let mut cfg = ServerConfig::default();
+    let mut cfg = ServerConfig {
+        // The daemon logs requests by default (operators can tail it);
+        // the library default stays quiet for embedded/test servers.
+        access_log: true,
+        ..ServerConfig::default()
+    };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -131,6 +140,7 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                 cfg.preload.push((name, scale));
             }
             "--enable-shutdown" => cfg.enable_shutdown = true,
+            "--no-access-log" => cfg.access_log = false,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -267,6 +277,8 @@ mod tests {
         let cfg = parse_args(&args(&[])).unwrap();
         assert_eq!(cfg.addr, "127.0.0.1:7878");
         assert_eq!(cfg.workers, 4);
+        assert!(cfg.access_log, "daemon logs by default");
+        assert!(!parse_args(&args(&["--no-access-log"])).unwrap().access_log);
 
         let cfg = parse_args(&args(&[
             "--port",

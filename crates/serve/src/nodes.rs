@@ -75,17 +75,17 @@ fn cached(
     };
     if let Some(body) = state.cache.get(&key) {
         return ApiResponse {
-            status: 200,
             body,
-            shutdown: false,
+            cache: Some(true),
+            ..ApiResponse::default()
         };
     }
     let rendered = Arc::new(hare::report::render(&compute()));
     state.cache.insert(key, Arc::clone(&rendered));
     ApiResponse {
-        status: 200,
         body: rendered,
-        shutdown: false,
+        cache: Some(false),
+        ..ApiResponse::default()
     }
 }
 

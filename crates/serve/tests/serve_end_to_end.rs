@@ -693,6 +693,339 @@ fn queue_overflow_answers_429_backpressure() {
     server.shutdown_and_wait();
 }
 
+/// One parsed Prometheus sample: metric name, sorted label pairs, value.
+type MetricSample = (String, Vec<(String, String)>, f64);
+
+/// Parse the text exposition line by line, panicking on any line that
+/// is neither a `# HELP`/`# TYPE` comment nor a well-formed sample.
+/// Returns `(name -> declared type, samples)`.
+fn parse_exposition(body: &str) -> (std::collections::HashMap<String, String>, Vec<MetricSample>) {
+    let mut types = std::collections::HashMap::new();
+    let mut samples = Vec::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE name").to_string();
+            let kind = it.next().expect("TYPE kind").to_string();
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind.as_str()),
+                "unknown metric type: {line}"
+            );
+            types.insert(name, kind);
+            continue;
+        }
+        if line.starts_with("# HELP ") {
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment form: {line}");
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        let value: f64 = value.parse().unwrap_or_else(|e| panic!("{line}: {e}"));
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let rest = rest.strip_suffix('}').expect("closing brace");
+                let mut labels: Vec<(String, String)> = rest
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(|pair| {
+                        let (k, v) = pair.split_once('=').expect("label pair");
+                        let v = v.strip_prefix('"').and_then(|v| v.strip_suffix('"'));
+                        (k.to_string(), v.expect("quoted label value").to_string())
+                    })
+                    .collect();
+                labels.sort();
+                (name.to_string(), labels)
+            }
+        };
+        // Histogram children belong to the family's TYPE declaration.
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| types.get(*f).map(String::as_str) == Some("histogram"))
+            .unwrap_or(&name);
+        assert!(
+            types.contains_key(family),
+            "sample {name} has no preceding # TYPE"
+        );
+        samples.push((name, labels, value));
+    }
+    (types, samples)
+}
+
+/// The value of `name` with the given label subset (all must match).
+fn sample_value(samples: &[MetricSample], name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    samples
+        .iter()
+        .find(|(n, l, _)| {
+            n == name
+                && labels
+                    .iter()
+                    .all(|(k, v)| l.iter().any(|(lk, lv)| lk == k && lv == v))
+        })
+        .map(|&(_, _, v)| v)
+}
+
+#[test]
+fn metrics_exposition_is_valid_and_reflects_traffic() {
+    let server = ServeProc::spawn(&["--preload", "CollegeMsg:8"]);
+    // Traffic the scrape must account for: a cache miss, a cache hit,
+    // a 404, and a /stats read.
+    assert_eq!(
+        server.get("/count?dataset=CollegeMsg&delta=600").status,
+        200
+    );
+    assert_eq!(
+        server.get("/count?dataset=CollegeMsg&delta=600").status,
+        200
+    );
+    assert_eq!(server.get("/definitely/not/here").status, 404);
+    assert_eq!(server.get("/stats").status, 200);
+
+    let first = server.get("/metrics");
+    assert_eq!(first.status, 200);
+    let (types, samples) = parse_exposition(first.text().trim_end());
+
+    // The inventory documented in docs/OBSERVABILITY.md is present.
+    for (name, kind) in [
+        ("hare_cache_hits_total", "counter"),
+        ("hare_cache_misses_total", "counter"),
+        ("hare_cache_evictions_total", "counter"),
+        ("hare_cache_entries", "gauge"),
+        ("hare_queue_in_flight", "gauge"),
+        ("hare_requests_completed_total", "counter"),
+        ("hare_requests_rejected_total", "counter"),
+        ("hare_sessions_open", "gauge"),
+        ("hare_ooc_peak_resident_lane_bytes", "gauge"),
+        ("hare_http_requests_total", "counter"),
+        ("hare_http_request_duration_us", "histogram"),
+    ] {
+        assert_eq!(types.get(name).map(String::as_str), Some(kind), "{name}");
+    }
+
+    // Counters reconcile with the traffic above.
+    assert_eq!(
+        sample_value(&samples, "hare_cache_hits_total", &[]),
+        Some(1.0)
+    );
+    assert_eq!(
+        sample_value(&samples, "hare_cache_misses_total", &[]),
+        Some(1.0)
+    );
+    // A worker marks "completed" only *after* its response is written,
+    // so any number of the four preceding done-transitions may still be
+    // pending at scrape time (and the /metrics request itself always
+    // is). The counter must converge to all four, so poll for it.
+    let mut completed = sample_value(&samples, "hare_requests_completed_total", &[]).unwrap();
+    let mut extra_scrapes = 0.0;
+    for _ in 0..100 {
+        if completed >= 4.0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let (_, resampled) = parse_exposition(server.get("/metrics").text().trim_end());
+        extra_scrapes += 1.0;
+        completed = sample_value(&resampled, "hare_requests_completed_total", &[]).unwrap();
+    }
+    assert!(completed >= 4.0, "completed = {completed}");
+    let count_2xx = sample_value(
+        &samples,
+        "hare_http_requests_total",
+        &[("path", "/count"), ("status", "2xx")],
+    );
+    assert_eq!(count_2xx, Some(2.0));
+    let other_4xx = sample_value(
+        &samples,
+        "hare_http_requests_total",
+        &[("path", "other"), ("status", "4xx")],
+    );
+    assert_eq!(other_4xx, Some(1.0));
+
+    // Histogram coherence: per label set, bucket counts are cumulative
+    // (non-decreasing in `le`, which the exposition orders ascending)
+    // and the +Inf bucket equals the `_count` sample.
+    let mut by_path: std::collections::HashMap<String, (Vec<f64>, Option<f64>)> =
+        std::collections::HashMap::new();
+    for (name, labels, value) in &samples {
+        let path = labels
+            .iter()
+            .find(|(k, _)| k == "path")
+            .map(|(_, v)| v.clone());
+        if name == "hare_http_request_duration_us_bucket" {
+            by_path
+                .entry(path.expect("path label"))
+                .or_default()
+                .0
+                .push(*value);
+        } else if name == "hare_http_request_duration_us_count" {
+            by_path.entry(path.expect("path label")).or_default().1 = Some(*value);
+        }
+    }
+    assert!(by_path.len() >= 10, "one histogram per endpoint group");
+    for (path, (buckets, count)) in &by_path {
+        assert!(
+            buckets.windows(2).all(|w| w[0] <= w[1]),
+            "{path}: buckets not cumulative: {buckets:?}"
+        );
+        assert_eq!(
+            buckets.last().copied(),
+            *count,
+            "{path}: +Inf bucket != _count"
+        );
+    }
+    let count_observed = by_path["/count"].1.unwrap();
+    assert_eq!(count_observed, 2.0, "/count latency observations");
+
+    // A second scrape never regresses any counter (monotonicity), and
+    // the /metrics endpoint accounts for its own scrapes.
+    let second = server.get("/metrics");
+    let (_, resamples) = parse_exposition(second.text().trim_end());
+    for (name, labels, value) in &samples {
+        if types.get(name.as_str()).map(String::as_str) != Some("counter") {
+            continue;
+        }
+        let labels: Vec<(&str, &str)> = labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let later = sample_value(&resamples, name, &labels)
+            .unwrap_or_else(|| panic!("{name}{labels:?} vanished between scrapes"));
+        assert!(
+            later >= *value,
+            "{name}{labels:?} regressed: {later} < {value}"
+        );
+    }
+    // The endpoint accounts for its own scrapes, one behind: a scrape's
+    // body renders before that scrape is observed, so this scrape
+    // reports exactly the ones before it (first + any poll rounds).
+    let scrapes = sample_value(
+        &resamples,
+        "hare_http_requests_total",
+        &[("path", "/metrics"), ("status", "2xx")],
+    );
+    assert_eq!(scrapes, Some(1.0 + extra_scrapes));
+
+    // The exposition is served with the Prometheus text content type
+    // (the test client drops headers, so read the raw stream).
+    {
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(server.addr.as_str()).unwrap();
+        raw.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut text = String::new();
+        raw.read_to_string(&mut text).unwrap();
+        assert!(
+            text.contains("Content-Type: text/plain; version=0.0.4"),
+            "{}",
+            text.lines().take(8).collect::<Vec<_>>().join("\n")
+        );
+    }
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn metrics_latency_histogram_observes_slow_requests() {
+    // A maximal-δ query takes ~0.5s in a debug build: its latency must
+    // land in the /count histogram's sum (microseconds), separating it
+    // from the fast endpoints.
+    let server = ServeProc::spawn(&["--preload", "CollegeMsg:1"]);
+    let slow = server.get("/count?dataset=CollegeMsg&delta=16000000&threads=1");
+    assert_eq!(slow.status, 200);
+    let resp = server.get("/metrics");
+    let (_, samples) = parse_exposition(resp.text().trim_end());
+    let sum = sample_value(
+        &samples,
+        "hare_http_request_duration_us_sum",
+        &[("path", "/count")],
+    )
+    .unwrap();
+    let count = sample_value(
+        &samples,
+        "hare_http_request_duration_us_count",
+        &[("path", "/count")],
+    )
+    .unwrap();
+    assert_eq!(count, 1.0);
+    assert!(
+        sum >= 10_000.0,
+        "slow query's latency missing from histogram sum: {sum}µs"
+    );
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn trace_param_reports_phases_without_perturbing_the_body() {
+    let server = ServeProc::spawn(&["--preload", "CollegeMsg:8"]);
+    let plain = server.get("/count?dataset=CollegeMsg&delta=600");
+    assert_eq!(plain.status, 200);
+    let traced = server.get("/count?dataset=CollegeMsg&delta=600&trace=1");
+    assert_eq!(traced.status, 200, "{}", traced.text());
+    let v = traced.json().unwrap();
+    assert_eq!(
+        v["result"],
+        plain.json().unwrap(),
+        "traced result drifted from the plain body"
+    );
+    let phases = v["trace"]["phases"].as_array().unwrap();
+    assert!(!phases.is_empty(), "{}", traced.text());
+    for phase in phases {
+        let name = phase["phase"].as_str().unwrap();
+        assert!(
+            ["scan", "fold", "chunk_load", "evict", "summarise"].contains(&name),
+            "unknown phase {name:?}"
+        );
+        assert!(phase["spans"].as_u64().unwrap() >= 1);
+        assert!(phase["duration_us"].as_u64().is_some());
+    }
+    assert!(v["trace"]["trace_id"].as_u64().is_some());
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn access_log_records_requests_with_cache_disposition() {
+    // The daemon logs by default (the library default is quiet; the
+    // binary flips it on unless --no-access-log). One JSON line per
+    // request lands on stderr: method, path, status, latency_us, and
+    // the cache disposition for /count.
+    let mut server = ServeProc::spawn(&["--preload", "CollegeMsg:8"]);
+    let stderr = server.child.stderr.take().expect("piped stderr");
+    assert_eq!(
+        server.get("/count?dataset=CollegeMsg&delta=600").status,
+        200
+    );
+    assert_eq!(
+        server.get("/count?dataset=CollegeMsg&delta=600").status,
+        200
+    );
+    assert_eq!(server.get("/nope").status, 404);
+    server.shutdown_and_wait();
+
+    let mut text = String::new();
+    use std::io::Read as _;
+    BufReader::new(stderr).read_to_string(&mut text).unwrap();
+    let records: Vec<serde_json::Value> = text
+        .lines()
+        .filter_map(|l| serde_json::from_str(l).ok())
+        .filter(|v: &serde_json::Value| v["method"].as_str().is_some())
+        .collect();
+    let count_records: Vec<&serde_json::Value> = records
+        .iter()
+        .filter(|v| v["path"].as_str() == Some("/count"))
+        .collect();
+    assert_eq!(count_records.len(), 2, "{text}");
+    assert_eq!(count_records[0]["cache"].as_str(), Some("miss"), "{text}");
+    assert_eq!(count_records[1]["cache"].as_str(), Some("hit"), "{text}");
+    for v in &count_records {
+        assert_eq!(v["status"].as_u64(), Some(200));
+        assert!(v["latency_us"].as_u64().is_some());
+    }
+    let not_found = records
+        .iter()
+        .find(|v| v["path"].as_str() == Some("/nope"))
+        .unwrap_or_else(|| panic!("404 not logged:\n{text}"));
+    assert_eq!(not_found["status"].as_u64(), Some(404));
+}
+
 #[cfg(unix)]
 #[test]
 fn sigterm_shuts_down_cleanly() {
